@@ -1,0 +1,41 @@
+"""Figure 1 — VM arrivals and exits per minute over 24 hours.
+
+Regenerates the diurnal arrival/exit series (averaged over 30 days) and
+reports the peak load the online scheduler must absorb and the off-peak minute
+during which VM rescheduling runs.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+from repro.analysis import format_table
+from repro.datasets import daily_arrival_exit_series, offpeak_minute
+
+
+def test_fig01_daily_arrival_exit_series(benchmark):
+    def run():
+        series = daily_arrival_exit_series(seed=0, days=30)
+        return series
+
+    series = run_once(benchmark, run)
+    total = series["total"]
+    trough = offpeak_minute(series)
+    rows = []
+    for hour in range(0, 24, 3):
+        window = slice(hour * 60, (hour + 3) * 60)
+        rows.append(
+            {
+                "hour_window": f"{hour:02d}:00-{hour + 3:02d}:00",
+                "mean_changes_per_min": float(total[window].mean()),
+                "mean_arrivals_per_min": float(series["arrivals"][window].mean()),
+                "mean_exits_per_min": float(series["exits"][window].mean()),
+            }
+        )
+    print()
+    print(format_table(rows, title="Figure 1: VM changes per minute (30-day average)"))
+    print(
+        f"peak = {total.max():.1f} changes/min at minute {int(np.argmax(total))}, "
+        f"off-peak (VMR window) = {total.min():.1f} changes/min at minute {trough} "
+        f"({trough // 60:02d}:{trough % 60:02d})"
+    )
+    assert total.max() > 3 * total.min()

@@ -1,0 +1,74 @@
+"""Figure 9 — overall FR and inference latency of all methods on the Medium analogue.
+
+Every baseline category of §5.1 plus VMR2L is run at several MNLs on the same
+snapshot; the table reports the achieved fragment rate and the inference time.
+The expected shape: MIP is the quality upper bound but slowest, heuristics are
+fast but plateau, POP/NeuPlan sit in between, and VMR2L approaches MIP's FR
+while staying within the latency budget.
+"""
+
+from benchmarks.common import (
+    DEFAULT_MNL,
+    get_trained_agent,
+    run_once,
+    scaled_mnls,
+    snapshots,
+)
+from repro.analysis import compare_algorithms, format_table, relative_gap, rows_to_series
+from repro.baselines import (
+    AlphaVBPP,
+    FilteringHeuristic,
+    MCTSRescheduler,
+    MIPRescheduler,
+    NeuPlanRescheduler,
+    POPRescheduler,
+)
+
+
+def test_fig09_overall_comparison(benchmark):
+    train_states = snapshots("medium", count=4)
+    test_state = snapshots("medium", count=5)[-1]
+    agent = get_trained_agent("medium_high", train_states, migration_limit=DEFAULT_MNL)
+    mnls = scaled_mnls(DEFAULT_MNL, points=3)
+
+    algorithms = [
+        FilteringHeuristic(),
+        AlphaVBPP(alpha=max(DEFAULT_MNL // 5, 2)),
+        POPRescheduler(num_partitions=2, time_limit_s=10.0),
+        MCTSRescheduler(iterations_per_step=8, candidate_actions=6, rollout_depth=3),
+        NeuPlanRescheduler(relax_factor=20, time_limit_s=10.0),
+        MIPRescheduler(time_limit_s=60.0),
+        agent,
+    ]
+
+    def run():
+        return compare_algorithms(test_state, algorithms, mnls)
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "algorithm": row.algorithm,
+                    "MNL": row.migration_limit,
+                    "fragment_rate": row.fragment_rate,
+                    "inference_s": row.inference_seconds,
+                    "migrations": row.num_migrations,
+                }
+                for row in rows
+            ],
+            title=f"Figure 9: all methods on the Medium analogue (initial FR = {rows[0].initial_fragment_rate:.4f})",
+        )
+    )
+    series = rows_to_series(rows)
+    final_mnl = mnls[-1]
+    mip_fr = [r.fragment_rate for r in rows if r.algorithm == "MIP" and r.migration_limit == final_mnl][0]
+    vmr_fr = [r.fragment_rate for r in rows if r.algorithm == "VMR2L" and r.migration_limit == final_mnl][0]
+    gap = relative_gap(vmr_fr, mip_fr) if mip_fr > 0 else 0.0
+    print(f"VMR2L vs MIP gap at MNL={final_mnl}: {100 * gap:.2f}% (paper reports 2.86% at full scale)")
+    # Structural checks: MIP is the best or tied-best method; every learned /
+    # heuristic method completes far faster than the exact solver budget.
+    assert mip_fr <= min(s.fragment_rates[-1] for s in series.values()) + 1e-6
+    assert all(t < 60.0 for t in series["VMR2L"].inference_seconds)
+    assert series["VMR2L"].fragment_rates[-1] <= rows[0].initial_fragment_rate + 0.05

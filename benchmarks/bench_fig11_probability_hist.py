@@ -1,0 +1,37 @@
+"""Figure 11 — distribution of VM selection probabilities of the trained policy.
+
+The trained VM actor concentrates its probability mass on a tiny subset of the
+VMs: the paper observes fewer than 0.8% of VMs get more than a 1% chance of
+being selected, which is why action thresholding (§3.4) is safe.
+"""
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_MNL, get_trained_agent, run_once, snapshots
+from repro.analysis import format_table
+from repro.core import vm_selection_probability_histogram
+
+
+def test_fig11_vm_selection_probability_distribution(benchmark):
+    train_states = snapshots("medium", count=4)
+    validation_states = snapshots("medium", count=6, seed=2)[:2]
+    agent = get_trained_agent("medium_high", train_states, migration_limit=DEFAULT_MNL)
+
+    def run():
+        return vm_selection_probability_histogram(
+            agent.policy, validation_states, migration_limit=DEFAULT_MNL, seed=0
+        )
+
+    histogram = run_once(benchmark, run)
+    probabilities = histogram["probabilities"]
+    rows = []
+    for low, high in [(0, 1e-4), (1e-4, 1e-3), (1e-3, 1e-2), (1e-2, 1e-1), (1e-1, 1.0)]:
+        count = int(((probabilities >= low) & (probabilities < high)).sum())
+        rows.append({"probability_range": f"[{low:g}, {high:g})", "count": count})
+    fraction_above_1pct = float((probabilities > 0.01).mean())
+    print()
+    print(format_table(rows, title="Figure 11: VM selection probability histogram"))
+    print(f"fraction of VM probabilities above 1%: {100 * fraction_above_1pct:.2f}%")
+    assert probabilities.size > 0
+    # Most probability entries are tiny (the paper's motivation for thresholding).
+    assert np.median(probabilities) < 0.05

@@ -1,0 +1,50 @@
+"""Figure 16 — generalizing a single agent across migration number limits.
+
+An agent trained with the largest MNL is evaluated at a range of smaller MNLs
+and compared against agents trained separately for each MNL (VMR2L_SEP).  The
+paper reports an average gap of only ~1%, so maintaining one agent per MNL is
+unnecessary.
+"""
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_MNL, get_trained_agent, run_once, scaled_mnls, snapshots
+from repro.analysis import format_table
+from repro.baselines import evaluate_plan
+
+
+def test_fig16_single_agent_generalizes_across_mnls(benchmark):
+    train_states = snapshots("medium", count=4)
+    test_states = snapshots("medium", count=6, seed=6)[:2]
+    mnls = scaled_mnls(DEFAULT_MNL, points=3)
+    generalist = get_trained_agent("medium_high", train_states, migration_limit=DEFAULT_MNL)
+
+    def run():
+        rows = []
+        for mnl in mnls:
+            specialist = get_trained_agent(f"mnl_sep_{mnl}", train_states, migration_limit=mnl)
+            generalist_fr = np.mean(
+                [evaluate_plan(s, generalist.compute_plan(s, mnl)).final_objective for s in test_states]
+            )
+            specialist_fr = np.mean(
+                [evaluate_plan(s, specialist.compute_plan(s, mnl)).final_objective for s in test_states]
+            )
+            rows.append(
+                {
+                    "MNL": mnl,
+                    "VMR2L (trained at max MNL)": float(generalist_fr),
+                    "VMR2L_SEP (per-MNL agent)": float(specialist_fr),
+                    "gap": float(generalist_fr - specialist_fr),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    initial = float(np.mean([s.fragment_rate() for s in test_states]))
+    print()
+    print(format_table(rows, title=f"Figure 16: MNL generalization (initial FR = {initial:.4f})"))
+    mean_gap = float(np.mean([abs(r["gap"]) for r in rows]))
+    print(f"mean |gap| between generalist and per-MNL agents: {mean_gap:.4f}")
+    for row in rows:
+        assert 0.0 <= row["VMR2L (trained at max MNL)"] <= 1.0
+        assert 0.0 <= row["VMR2L_SEP (per-MNL agent)"] <= 1.0

@@ -1,0 +1,60 @@
+"""Figure 17 — generalization to clusters with more or fewer PMs.
+
+The agent trained on the Medium analogue is deployed on clusters whose PM
+count differs by up to ±30%; for each size the table reports the fraction of
+the potential FR improvement (what the MIP achieves) that VMR2L realizes,
+compared with POP.  The paper reports >95% within ±20% and a mild decline
+beyond that, with POP around 78%.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_MNL,
+    MEDIUM_PMS,
+    get_trained_agent,
+    medium_cluster_spec,
+    run_once,
+    snapshots,
+)
+from repro.analysis import format_table, potential_fr_ratio
+from repro.baselines import MIPRescheduler, POPRescheduler, evaluate_plan
+from repro.datasets import ClusterSpec, SnapshotGenerator
+
+SIZE_FACTORS = [0.7, 0.9, 1.0, 1.1, 1.3]
+
+
+def test_fig17_potential_fr_ratio_across_cluster_sizes(benchmark):
+    train_states = snapshots("medium", count=4)
+    agent = get_trained_agent("medium_high", train_states, migration_limit=DEFAULT_MNL)
+
+    def run():
+        rows = []
+        for factor in SIZE_FACTORS:
+            num_pms = max(int(round(MEDIUM_PMS * factor)), 3)
+            spec = medium_cluster_spec(num_pms=num_pms, name=f"bench-medium-{num_pms}pms")
+            state = SnapshotGenerator(spec, seed=17).generate()
+            initial = state.fragment_rate()
+            optimal = evaluate_plan(state, MIPRescheduler(time_limit_s=30.0).compute_plan(state, DEFAULT_MNL)).final_objective
+            vmr = evaluate_plan(state, agent.compute_plan(state, DEFAULT_MNL)).final_objective
+            pop = evaluate_plan(
+                state, POPRescheduler(num_partitions=2, time_limit_s=10.0).compute_plan(state, DEFAULT_MNL)
+            ).final_objective
+            rows.append(
+                {
+                    "pm_count": num_pms,
+                    "size_vs_train": f"{100 * (factor - 1):+.0f}%",
+                    "initial_fr": initial,
+                    "mip_fr": optimal,
+                    "vmr2l_potential_ratio": potential_fr_ratio(initial, vmr, optimal),
+                    "pop_potential_ratio": potential_fr_ratio(initial, pop, optimal),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Figure 17: fraction of potential FR improvement achieved"))
+    for row in rows:
+        assert 0.0 <= row["vmr2l_potential_ratio"] <= 1.0
+        assert 0.0 <= row["pop_potential_ratio"] <= 1.0

@@ -1,0 +1,57 @@
+"""Figure 18 — FR and inference time on the Large analogue at larger MNLs.
+
+The exact MIP is excluded (as in the paper, it cannot finish within an hour at
+this scale); HA, POP, Decima-style, NeuPlan and VMR2L are compared across a
+sweep of larger migration limits.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_MNL,
+    get_trained_agent,
+    run_once,
+    snapshots,
+)
+from repro.analysis import compare_algorithms, format_table
+from repro.baselines import FilteringHeuristic, NeuPlanRescheduler, POPRescheduler
+
+
+def test_fig18_large_cluster_comparison(benchmark):
+    train_states = snapshots("large", count=2)
+    test_state = snapshots("large", count=3, seed=7)[-1]
+    large_mnl = DEFAULT_MNL * 2
+    mnls = [DEFAULT_MNL, int(1.5 * DEFAULT_MNL), large_mnl]
+    agent = get_trained_agent("large_high", train_states, migration_limit=large_mnl)
+
+    algorithms = [
+        FilteringHeuristic(),
+        POPRescheduler(num_partitions=4, time_limit_s=10.0),
+        NeuPlanRescheduler(relax_factor=24, time_limit_s=10.0),
+        agent,
+    ]
+
+    def run():
+        return compare_algorithms(test_state, algorithms, mnls)
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "algorithm": row.algorithm,
+                    "MNL": row.migration_limit,
+                    "fragment_rate": row.fragment_rate,
+                    "inference_s": row.inference_seconds,
+                }
+                for row in rows
+            ],
+            title=(
+                f"Figure 18: Large analogue ({test_state.num_pms} PMs, {test_state.num_vms} VMs, "
+                f"initial FR = {rows[0].initial_fragment_rate:.4f})"
+            ),
+        )
+    )
+    vmr_rows = [row for row in rows if row.algorithm == "VMR2L"]
+    assert all(row.fragment_rate <= row.initial_fragment_rate + 0.05 for row in vmr_rows)

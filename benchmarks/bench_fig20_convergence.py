@@ -1,0 +1,60 @@
+"""Figure 20 — is a larger cluster more difficult for VMR2L to learn?
+
+Two agents are trained with the same budget on the Medium and Large analogues;
+the table reports the test FR trajectory (normalized by each dataset's initial
+FR so the curves are comparable, mirroring the paper's dual-axis plot).  The
+expected shape: both decline roughly linearly after the initial stage, with no
+dramatic slowdown on the larger cluster.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    DEFAULT_MNL,
+    TRAIN_STEPS,
+    default_agent_config,
+    run_once,
+    snapshots,
+)
+from repro.analysis import format_table
+from repro.cluster import ConstraintConfig
+from repro.core import VMR2LAgent
+
+EVAL_CHUNKS = 3
+
+
+def _convergence_curve(kind, seed=0):
+    train_states = snapshots(kind, count=3)
+    test_states = snapshots(kind, count=5, seed=9)[:2]
+    config = default_agent_config(DEFAULT_MNL)
+    agent = VMR2LAgent(config, constraint_config=ConstraintConfig(migration_limit=DEFAULT_MNL), seed=seed)
+    steps_per_chunk = max(TRAIN_STEPS // (2 * EVAL_CHUNKS), config.ppo.rollout_steps)
+    initial = float(np.mean([s.fragment_rate() for s in test_states]))
+    curve = []
+    for _ in range(EVAL_CHUNKS):
+        agent.train_on_states(train_states, total_steps=steps_per_chunk)
+        curve.append(agent.evaluate(test_states, migration_limit=DEFAULT_MNL)["mean_final_objective"])
+    return initial, curve
+
+
+def test_fig20_convergence_medium_vs_large(benchmark):
+    def run():
+        return {"Medium": _convergence_curve("medium"), "Large": _convergence_curve("large")}
+
+    results = run_once(benchmark, run)
+    rows = []
+    for dataset, (initial, curve) in results.items():
+        rows.append(
+            {
+                "dataset": dataset,
+                "initial_fr": initial,
+                **{f"eval_{i + 1}_fr": value for i, value in enumerate(curve)},
+                "relative_final": curve[-1] / initial if initial > 0 else 0.0,
+            }
+        )
+    print()
+    print(format_table(rows, title="Figure 20: convergence on Medium vs Large analogues"))
+    for _, (initial, curve) in results.items():
+        assert all(0.0 <= value <= 1.0 for value in curve)
+        # Training should not leave the policy worse than doing nothing.
+        assert curve[-1] <= initial + 0.05

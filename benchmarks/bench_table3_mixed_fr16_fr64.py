@@ -1,0 +1,57 @@
+"""Table 3 — mixed objective (i): trading off 16-core FR against 64-core FR.
+
+For each λ in the paper's sweep a VMR2L agent is trained with the convex
+objective of Eq. 12 on the Multi-Resource analogue and compared against POP on
+the same objective.  Expected shape: as λ grows, FR64 improves at the cost of
+FR16, and VMR2L attains a lower combined objective than POP.
+"""
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_MNL, TRAIN_STEPS, get_trained_agent, run_once, snapshots
+from repro.analysis import format_table
+from repro.baselines import POPRescheduler
+from repro.cluster import apply_plan
+from repro.env import MixedFragmentObjective
+
+LAMBDAS = [0.0, 0.4, 1.0]
+
+
+def _components(state, plan, objective):
+    final_state, _ = apply_plan(state, plan, skip_infeasible=True)
+    metrics = objective.component_metrics(final_state)
+    metrics["objective"] = objective.episode_metric(final_state)
+    return metrics
+
+
+def test_table3_mixed_fr16_fr64(benchmark):
+    train_states = snapshots("multi_resource", count=3)
+    test_state = snapshots("multi_resource", count=5, seed=12)[0]
+
+    def run():
+        rows = []
+        for weight in LAMBDAS:
+            objective = MixedFragmentObjective(weight=weight)
+            agent = get_trained_agent(
+                f"mixed_fr64_lambda_{weight}",
+                train_states,
+                migration_limit=DEFAULT_MNL,
+                objective=objective,
+                total_steps=max(TRAIN_STEPS // 2, 256),
+            )
+            vmr_plan = agent.compute_plan(test_state, DEFAULT_MNL).plan
+            pop_plan = POPRescheduler(num_partitions=2, time_limit_s=10.0).compute_plan(
+                test_state, DEFAULT_MNL
+            ).plan
+            for name, plan in (("VMR2L", vmr_plan), ("POP", pop_plan)):
+                metrics = _components(test_state, plan, objective)
+                rows.append({"lambda": weight, "algorithm": name, **metrics})
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Table 3: mixed objective over FR16 and FR64"))
+    for weight in LAMBDAS:
+        vmr = [r for r in rows if r["algorithm"] == "VMR2L" and r["lambda"] == weight][0]
+        initial = MixedFragmentObjective(weight=weight).episode_metric(test_state)
+        assert vmr["objective"] <= initial + 0.05

@@ -1,0 +1,56 @@
+"""Table 4 — mixed objective (ii): trading off 16-core CPU FR against 64-GB memory FR.
+
+Same protocol as Table 3 but the secondary objective is the memory fragment
+rate (Mem64), exercising the multi-resource-type objective of §5.5.3 on the
+Multi-Resource analogue.
+"""
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_MNL, TRAIN_STEPS, get_trained_agent, run_once, snapshots
+from repro.analysis import format_table
+from repro.baselines import POPRescheduler
+from repro.cluster import apply_plan
+from repro.env import MixedResourceObjective
+
+LAMBDAS = [0.0, 0.4, 1.0]
+
+
+def _components(state, plan, objective):
+    final_state, _ = apply_plan(state, plan, skip_infeasible=True)
+    metrics = objective.component_metrics(final_state)
+    metrics["objective"] = objective.episode_metric(final_state)
+    return metrics
+
+
+def test_table4_mixed_fr16_mem64(benchmark):
+    train_states = snapshots("multi_resource", count=3)
+    test_state = snapshots("multi_resource", count=5, seed=13)[0]
+
+    def run():
+        rows = []
+        for weight in LAMBDAS:
+            objective = MixedResourceObjective(weight=weight)
+            agent = get_trained_agent(
+                f"mixed_mem64_lambda_{weight}",
+                train_states,
+                migration_limit=DEFAULT_MNL,
+                objective=objective,
+                total_steps=max(TRAIN_STEPS // 2, 256),
+            )
+            vmr_plan = agent.compute_plan(test_state, DEFAULT_MNL).plan
+            pop_plan = POPRescheduler(num_partitions=2, time_limit_s=10.0).compute_plan(
+                test_state, DEFAULT_MNL
+            ).plan
+            for name, plan in (("VMR2L", vmr_plan), ("POP", pop_plan)):
+                metrics = _components(test_state, plan, objective)
+                rows.append({"lambda": weight, "algorithm": name, **metrics})
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="Table 4: mixed objective over FR16 and Mem64"))
+    for weight in LAMBDAS:
+        vmr = [r for r in rows if r["algorithm"] == "VMR2L" and r["lambda"] == weight][0]
+        initial = MixedResourceObjective(weight=weight).episode_metric(test_state)
+        assert vmr["objective"] <= initial + 0.05

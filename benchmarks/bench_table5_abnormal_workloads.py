@@ -1,0 +1,59 @@
+"""Table 5 — generalization to abnormal workload levels.
+
+Agents trained on Low, Middle, High and on the mixture (Low, High) are
+evaluated on every workload level and compared with HA and POP.  The paper's
+headline observations: an agent evaluated on its own training workload is
+best; training only on lower workloads degrades on higher ones; and the (L,H)
+mixture generalizes to the Middle workload it never saw.
+"""
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_MNL, get_trained_agent, run_once, snapshots
+from repro.analysis import format_table
+from repro.baselines import FilteringHeuristic, POPRescheduler, evaluate_plan
+
+LEVELS = ("low", "middle", "high")
+
+
+def test_table5_abnormal_workload_generalization(benchmark):
+    train_sets = {level: snapshots(f"workload_{level}", count=3) for level in LEVELS}
+    test_sets = {level: snapshots(f"workload_{level}", count=5, seed=14)[-2:] for level in LEVELS}
+    mnl = DEFAULT_MNL * 2  # larger MNL for low/middle, as in the paper
+
+    def run():
+        agents = {
+            "VMR2L (L)": get_trained_agent("workload_low", train_sets["low"], migration_limit=mnl),
+            "VMR2L (M)": get_trained_agent("workload_middle", train_sets["middle"], migration_limit=mnl),
+            "VMR2L (H)": get_trained_agent("workload_high", train_sets["high"], migration_limit=mnl),
+            "VMR2L (L,H)": get_trained_agent(
+                "workload_low_high", train_sets["low"] + train_sets["high"], migration_limit=mnl
+            ),
+        }
+        baselines = {
+            "HA": FilteringHeuristic(),
+            "POP": POPRescheduler(num_partitions=2, time_limit_s=10.0),
+        }
+        rows = []
+        for method_name, planner in {**baselines, **agents}.items():
+            row = {"method": method_name}
+            for level in LEVELS:
+                frs = [
+                    evaluate_plan(state, planner.compute_plan(state, mnl)).final_objective
+                    for state in test_sets[level]
+                ]
+                row[f"{level}_fr"] = float(np.mean(frs))
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    initial = {
+        level: float(np.mean([s.fragment_rate() for s in test_sets[level]])) for level in LEVELS
+    }
+    print()
+    print(format_table(rows, title="Table 5: FR when generalizing across workload levels"))
+    print("initial FR per level:", {k: round(v, 4) for k, v in initial.items()})
+    by_method = {row["method"]: row for row in rows}
+    for level in LEVELS:
+        for method, row in by_method.items():
+            assert row[f"{level}_fr"] <= initial[level] + 0.05, (method, level)

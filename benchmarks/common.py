@@ -1,0 +1,165 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Training a
+full-scale agent for 92 GPU-hours is out of scope on CPU, so the harness runs
+the *same protocol* at a reduced scale (see DESIGN.md "Scale policy"):
+
+* clusters are scaled down (default ``SMALL_PMS`` physical machines),
+* migration limits are scaled to the cluster size,
+* agents are trained for a small number of PPO steps and cached on disk under
+  ``benchmarks/_artifacts`` so repeated benchmark runs reuse them.
+
+Set the environment variable ``VMR2L_BENCH_SCALE=medium`` (or ``large``) to run
+closer to paper scale, and ``VMR2L_BENCH_TRAIN_STEPS`` to raise the training
+budget.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import ClusterState, ConstraintConfig
+from repro.core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
+from repro.datasets import ClusterSpec, SnapshotGenerator, spec_for_workload
+from repro.env import Objective
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "_artifacts"
+
+#: Benchmark scale knobs.
+SCALE = os.environ.get("VMR2L_BENCH_SCALE", "small")
+_SCALE_PRESETS = {
+    # (num_pms for "medium"-analogue, num_pms for "large"-analogue, default MNL, train steps)
+    "small": {"medium_pms": 10, "large_pms": 24, "mnl": 10, "train_steps": 768},
+    "medium": {"medium_pms": 60, "large_pms": 160, "mnl": 25, "train_steps": 4096},
+    "large": {"medium_pms": 280, "large_pms": 1176, "mnl": 50, "train_steps": 65536},
+}
+PRESET = _SCALE_PRESETS.get(SCALE, _SCALE_PRESETS["small"])
+
+MEDIUM_PMS = PRESET["medium_pms"]
+LARGE_PMS = PRESET["large_pms"]
+DEFAULT_MNL = PRESET["mnl"]
+TRAIN_STEPS = int(os.environ.get("VMR2L_BENCH_TRAIN_STEPS", PRESET["train_steps"]))
+
+#: Utilization used for the "Medium" (High-workload) analogue.
+HIGH_UTILIZATION = 0.78
+
+
+def medium_cluster_spec(**overrides) -> ClusterSpec:
+    """Scaled-down analogue of the paper's Medium dataset."""
+    defaults = dict(
+        name="bench-medium",
+        num_pms=MEDIUM_PMS,
+        target_utilization=HIGH_UTILIZATION,
+        best_fit_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+def large_cluster_spec(**overrides) -> ClusterSpec:
+    """Scaled-down analogue of the paper's Large dataset."""
+    defaults = dict(
+        name="bench-large",
+        num_pms=LARGE_PMS,
+        target_utilization=0.70,
+        best_fit_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+def multi_resource_cluster_spec(**overrides) -> ClusterSpec:
+    from repro.datasets import multi_resource_spec
+
+    spec = multi_resource_spec(num_pms=max(MEDIUM_PMS, 8), target_utilization=0.72)
+    return spec if not overrides else ClusterSpec(**{**spec.__dict__, **overrides})
+
+
+@lru_cache(maxsize=None)
+def _snapshots_cached(spec_key: str, count: int, seed: int):
+    spec = _SPEC_FACTORIES[spec_key]()
+    return tuple(SnapshotGenerator(spec, seed=seed).generate_many(count))
+
+
+_SPEC_FACTORIES = {
+    "medium": medium_cluster_spec,
+    "large": large_cluster_spec,
+    "multi_resource": multi_resource_cluster_spec,
+    "workload_low": lambda: spec_for_workload("low", base="small", num_pms=MEDIUM_PMS),
+    "workload_middle": lambda: spec_for_workload("middle", base="small", num_pms=MEDIUM_PMS),
+    "workload_high": lambda: spec_for_workload("high", base="small", num_pms=MEDIUM_PMS),
+}
+
+
+def snapshots(kind: str = "medium", count: int = 4, seed: int = 0) -> List[ClusterState]:
+    """Cached snapshot sets shared by every benchmark (copies are returned)."""
+    cached = _snapshots_cached(kind, count, seed)
+    return [state.copy() for state in cached]
+
+
+def default_agent_config(migration_limit: int = DEFAULT_MNL, **model_overrides) -> VMR2LConfig:
+    """Compact VMR2L configuration used throughout the harness."""
+    model = ModelConfig(
+        embed_dim=16,
+        num_heads=2,
+        num_blocks=1,
+        feedforward_dim=32,
+        **model_overrides,
+    )
+    ppo = PPOConfig(
+        rollout_steps=128,
+        minibatch_size=32,
+        update_epochs=2,
+        learning_rate=2.5e-3,
+        entropy_coef=0.005,
+    )
+    return VMR2LConfig(
+        model=model,
+        ppo=ppo,
+        risk_seeking=RiskSeekingConfig(num_trajectories=4),
+        migration_limit=migration_limit,
+    )
+
+
+def get_trained_agent(
+    key: str,
+    train_states: Sequence[ClusterState],
+    migration_limit: int = DEFAULT_MNL,
+    total_steps: Optional[int] = None,
+    objective: Optional[Objective] = None,
+    config: Optional[VMR2LConfig] = None,
+    seed: int = 0,
+) -> VMR2LAgent:
+    """Train (or load a cached) VMR2L agent identified by ``key``.
+
+    The checkpoint is stored under ``benchmarks/_artifacts/<key>.npz``; delete
+    the directory to force retraining (e.g. after changing the scale).
+    """
+    total_steps = total_steps if total_steps is not None else TRAIN_STEPS
+    config = config or default_agent_config(migration_limit)
+    constraint_config = ConstraintConfig(migration_limit=migration_limit)
+    agent = VMR2LAgent(config, objective=objective, constraint_config=constraint_config, seed=seed)
+    checkpoint = ARTIFACT_DIR / f"{SCALE}_{key}.npz"
+    if checkpoint.exists():
+        loaded = VMR2LAgent.load(checkpoint, objective=objective, constraint_config=constraint_config)
+        return loaded
+    agent.train_on_states(list(train_states), total_steps=total_steps)
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    agent.save(checkpoint)
+    return agent
+
+
+def scaled_mnls(maximum: int = DEFAULT_MNL, points: int = 5) -> List[int]:
+    """An MNL sweep from maximum/points to maximum (the x-axis of Figs. 4/9/18)."""
+    step = max(maximum // points, 1)
+    return [step * i for i in range(1, points + 1)]
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""repro — a from-scratch reproduction of VMR2L (EuroSys '25).
+
+"Towards VM Rescheduling Optimization Through Deep Reinforcement Learning"
+proposes VMR2L, a two-stage deep-RL agent with sparse tree-level attention and
+risk-seeking evaluation that reschedules VMs across physical machines to
+minimize the fragment rate under a strict latency budget.
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd, layers, attention and optimizers (the PyTorch substitute).
+``repro.cluster``
+    The data-center model: PMs, NUMAs, VMs, fragmentation, constraints,
+    migrations and dynamic arrival/exit events.
+``repro.env``
+    The Gym-style deterministic rescheduling simulator and objectives.
+``repro.datasets``
+    Synthetic trace generation (Medium/Large/Multi-Resource analogues,
+    workload levels) and dataset persistence.
+``repro.baselines``
+    HA, α-VBPP, MIP, POP, MCTS, Decima-style, NeuPlan-style and random
+    baselines behind a common ``Rescheduler`` interface.
+``repro.core``
+    VMR2L itself: feature extraction, two-stage actors, PPO training,
+    risk-seeking evaluation and the high-level agent API.
+``repro.analysis``
+    Metrics, latency measurement, the inference-decay experiment and the
+    migration-trace visualizer used by the benchmark harness.
+"""
+
+from . import analysis, baselines, cluster, core, datasets, env, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "baselines", "cluster", "core", "datasets", "env", "nn", "__version__"]

@@ -1,0 +1,80 @@
+"""Inference-latency measurement helpers.
+
+The paper's central systems argument is that VMR solutions must arrive within
+about five seconds (Fig. 5), so every comparison reports wall-clock inference
+time next to solution quality.  These helpers time planners consistently and
+summarize repeated measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Rescheduler, ReschedulingResult
+from ..cluster import ClusterState
+
+#: The latency budget highlighted throughout the paper (§2.2).
+FIVE_SECOND_LIMIT = 5.0
+
+
+@dataclass
+class LatencyMeasurement:
+    """Summary statistics of repeated inference-time measurements."""
+
+    algorithm: str
+    mean_seconds: float
+    std_seconds: float
+    min_seconds: float
+    max_seconds: float
+    num_runs: int
+
+    def meets_limit(self, limit_s: float = FIVE_SECOND_LIMIT) -> bool:
+        return self.mean_seconds <= limit_s
+
+
+def measure_latency(
+    algorithm: Rescheduler,
+    state: ClusterState,
+    migration_limit: int,
+    repeats: int = 3,
+) -> LatencyMeasurement:
+    """Measure inference latency of ``algorithm`` over ``repeats`` runs."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    samples: List[float] = []
+    for _ in range(repeats):
+        result = algorithm.compute_plan(state, migration_limit)
+        samples.append(result.inference_seconds)
+    arr = np.asarray(samples)
+    return LatencyMeasurement(
+        algorithm=algorithm.name,
+        mean_seconds=float(arr.mean()),
+        std_seconds=float(arr.std()),
+        min_seconds=float(arr.min()),
+        max_seconds=float(arr.max()),
+        num_runs=repeats,
+    )
+
+
+def time_function(fn: Callable[[], object]) -> Dict[str, object]:
+    """Time a zero-argument callable and return its value and elapsed seconds."""
+    start = time.perf_counter()
+    value = fn()
+    return {"value": value, "seconds": time.perf_counter() - start}
+
+
+def latency_table(measurements: Sequence[LatencyMeasurement], limit_s: float = FIVE_SECOND_LIMIT) -> List[Dict]:
+    """Rows of algorithm / latency / within-limit suitable for printing."""
+    return [
+        {
+            "algorithm": m.algorithm,
+            "mean_seconds": m.mean_seconds,
+            "std_seconds": m.std_seconds,
+            "within_limit": m.meets_limit(limit_s),
+        }
+        for m in measurements
+    ]

@@ -1,0 +1,126 @@
+"""Decima-style deep-RL baseline (Mao et al., SIGCOMM '19, adapted to VMR).
+
+Decima encodes machines with a graph/message-passing network and decomposes
+the decision into (i) which VM to migrate and (ii) a destination chosen from a
+*randomly sub-sampled* subset of PMs — the key difference from VMR2L, whose
+stage-2 actor sees every feasible PM (§5.1/§5.2: "the subsampling of PMs is
+completely random, as opposed to our solution").
+
+The implementation reuses the two-stage PPO machinery of :mod:`repro.core`
+with a vanilla (non-tree) attention extractor, and restricts the PM mask at
+both training and inference time to a random subset of the feasible PMs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import ClusterState, ConstraintConfig, Migration, MigrationPlan
+from ..core.config import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LConfig
+from ..core.policy import TwoStagePolicy
+from ..core.ppo import PPOTrainer
+from ..env.objectives import FragmentRateObjective, Objective
+from ..env.vmr_env import VMRescheduleEnv
+from .base import Rescheduler
+
+
+class _SubsampledEnv(VMRescheduleEnv):
+    """A rescheduling env whose stage-2 mask only exposes a random PM subset."""
+
+    def __init__(self, *args, pm_subset_size: int, subsample_rng: np.random.Generator, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pm_subset_size = pm_subset_size
+        self.subsample_rng = subsample_rng
+
+    def pm_action_mask(self, vm_index: int) -> np.ndarray:
+        full_mask = super().pm_action_mask(vm_index)
+        feasible = np.nonzero(full_mask)[0]
+        if feasible.size <= self.pm_subset_size:
+            return full_mask
+        keep = self.subsample_rng.choice(feasible, size=self.pm_subset_size, replace=False)
+        subset_mask = np.zeros_like(full_mask)
+        subset_mask[keep] = True
+        return subset_mask
+
+
+class DecimaRescheduler(Rescheduler):
+    """Learned two-dimensional-action baseline with random PM subsampling."""
+
+    name = "Decima"
+
+    def __init__(
+        self,
+        config: Optional[VMR2LConfig] = None,
+        pm_subset_size: int = 5,
+        objective: Optional[Objective] = None,
+        constraint_config: Optional[ConstraintConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if pm_subset_size <= 0:
+            raise ValueError("pm_subset_size must be positive")
+        if config is None:
+            config = VMR2LConfig(model=ModelConfig(extractor="vanilla"))
+        elif config.model.extractor != "vanilla":
+            raise ValueError("Decima uses the vanilla (non-tree) extractor")
+        self.config = config
+        self.pm_subset_size = pm_subset_size
+        self.objective = objective or FragmentRateObjective()
+        self.constraint_config = constraint_config or ConstraintConfig(
+            migration_limit=config.migration_limit
+        )
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.policy = TwoStagePolicy(config.model, rng=np.random.default_rng(seed))
+        self._info: Dict = {}
+
+    # ------------------------------------------------------------------ #
+    def train_on_states(self, train_states: Sequence[ClusterState], total_steps: int) -> None:
+        """Train the Decima policy with PPO on the given snapshots."""
+        if not train_states:
+            raise ValueError("train_states must not be empty")
+        train_states = list(train_states)
+        sampler_rng = np.random.default_rng(self.seed + 1)
+
+        def sample_state() -> ClusterState:
+            return train_states[sampler_rng.integers(len(train_states))]
+
+        env = _SubsampledEnv(
+            state_sampler=sample_state,
+            constraint_config=self.constraint_config,
+            objective=self.objective,
+            pm_subset_size=self.pm_subset_size,
+            subsample_rng=np.random.default_rng(self.seed + 2),
+        )
+        trainer = PPOTrainer(self.policy, env, self.config.ppo)
+        trainer.train(total_steps)
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, state: ClusterState, migration_limit: int) -> MigrationPlan:
+        env = _SubsampledEnv(
+            state,
+            ConstraintConfig(
+                migration_limit=migration_limit,
+                honor_anti_affinity=self.constraint_config.honor_anti_affinity,
+            ),
+            objective=self.objective,
+            pm_subset_size=self.pm_subset_size,
+            subsample_rng=np.random.default_rng(self.seed + 3),
+        )
+        observation = env.reset()
+        done = False
+        while not done:
+            if not observation.vm_mask.any():
+                break
+            output = self.policy.act(observation, pm_mask_fn=env.pm_action_mask, rng=self.rng, greedy=True)
+            pm_mask = env.pm_action_mask(output.vm_index)
+            if not pm_mask.any():
+                break
+            pm_index = output.pm_index if pm_mask[output.pm_index] else int(np.argmax(pm_mask))
+            observation, _, done, _ = env.step((output.vm_index, pm_index))
+        self._info = {"final_fragment_rate": env.fragment_rate()}
+        return env.executed_plan()
+
+    def _last_info(self) -> Dict:
+        return dict(self._info)

@@ -1,0 +1,201 @@
+"""Monte-Carlo tree search rescheduler with pruned candidate actions.
+
+The paper compares against a data-driven tree-search baseline (DDTS-style,
+Zhu et al. CIKM '21): plain MCTS over the full (VM, PM) action space is
+hopeless, so the search only branches over a pruned candidate set — the top-K
+(VM, destination) pairs ranked by their immediate fragment reduction — and
+estimates values with greedy rollouts.  The rollout/iteration budget controls
+the latency/quality trade-off that makes MCTS fall behind under the
+five-second limit (§5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import ClusterState, ConstraintConfig, Migration, MigrationPlan
+from .base import Rescheduler
+
+
+@dataclass
+class _Node:
+    """One search-tree node: a cluster state reached after some migrations."""
+
+    state: ClusterState
+    depth: int
+    parent: Optional["_Node"] = None
+    action: Optional[Tuple[int, int]] = None
+    children: Dict[Tuple[int, int], "_Node"] = field(default_factory=dict)
+    visits: int = 0
+    total_value: float = 0.0
+    untried: Optional[List[Tuple[int, int]]] = None
+
+    @property
+    def mean_value(self) -> float:
+        return self.total_value / self.visits if self.visits else 0.0
+
+
+class MCTSRescheduler(Rescheduler):
+    """Pruned Monte-Carlo tree search over migration sequences."""
+
+    name = "MCTS"
+
+    def __init__(
+        self,
+        iterations_per_step: int = 24,
+        candidate_actions: int = 8,
+        rollout_depth: int = 4,
+        exploration: float = 1.0,
+        constraint_config: Optional[ConstraintConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if iterations_per_step <= 0 or candidate_actions <= 0:
+            raise ValueError("iterations_per_step and candidate_actions must be positive")
+        self.iterations_per_step = iterations_per_step
+        self.candidate_actions = candidate_actions
+        self.rollout_depth = rollout_depth
+        self.exploration = exploration
+        self.constraint_config = constraint_config or ConstraintConfig()
+        self.rng = np.random.default_rng(seed)
+        self._info: Dict = {}
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, state: ClusterState, migration_limit: int) -> MigrationPlan:
+        plan = MigrationPlan()
+        simulations = 0
+        for _ in range(migration_limit):
+            action = self._search(state)
+            if action is None:
+                break
+            simulations += self.iterations_per_step
+            vm_id, dest_pm_id = action
+            state.migrate_vm(vm_id, dest_pm_id, honor_affinity=self.constraint_config.honor_anti_affinity)
+            plan.append(Migration(vm_id=vm_id, dest_pm_id=dest_pm_id))
+        self._info = {"simulations": simulations, "final_fragment_rate": state.fragment_rate()}
+        return plan
+
+    def _last_info(self) -> Dict:
+        return dict(self._info)
+
+    # ------------------------------------------------------------------ #
+    def _search(self, state: ClusterState) -> Optional[Tuple[int, int]]:
+        root = _Node(state=state.copy(), depth=0)
+        root.untried = self._candidate_actions(root.state)
+        if not root.untried:
+            return None
+        for _ in range(self.iterations_per_step):
+            self._simulate(root)
+        if not root.children:
+            return root.untried[0] if root.untried else None
+        best_action = max(root.children.items(), key=lambda item: item[1].visits)[0]
+        # Only commit to moves that do not increase fragments.
+        best_child = root.children[best_action]
+        if best_child.mean_value < 0.0 and self._greedy_gain(state, best_action) < 0.0:
+            return None
+        return best_action
+
+    def _simulate(self, root: _Node) -> None:
+        node = root
+        # Selection.
+        while not node.untried and node.children:
+            node = self._select_child(node)
+        # Expansion.
+        if node.untried:
+            action = node.untried.pop(self.rng.integers(len(node.untried)))
+            next_state = node.state.copy()
+            gain = self._apply(next_state, action)
+            child = _Node(state=next_state, depth=node.depth + 1, parent=node, action=action)
+            child.untried = self._candidate_actions(next_state) if child.depth < self.rollout_depth else []
+            node.children[action] = child
+            node = child
+            value = gain + self._rollout(next_state.copy(), self.rollout_depth - child.depth)
+        else:
+            value = 0.0
+        # Backpropagation.
+        while node is not None:
+            node.visits += 1
+            node.total_value += value
+            node = node.parent
+
+    def _select_child(self, node: _Node) -> _Node:
+        log_visits = math.log(max(node.visits, 1))
+        best_child = None
+        best_score = -float("inf")
+        for child in node.children.values():
+            exploit = child.mean_value
+            explore = self.exploration * math.sqrt(log_visits / max(child.visits, 1))
+            score = exploit + explore
+            if score > best_score:
+                best_score = score
+                best_child = child
+        return best_child
+
+    def _rollout(self, state: ClusterState, depth: int) -> float:
+        total = 0.0
+        for _ in range(max(depth, 0)):
+            actions = self._candidate_actions(state, limit=3)
+            if not actions:
+                break
+            action = actions[0]
+            total += self._apply(state, action)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _candidate_actions(self, state: ClusterState, limit: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Top-K (vm, pm) pairs ranked by immediate fragment reduction (pruning)."""
+        limit = limit or self.candidate_actions
+        scored: List[Tuple[float, Tuple[int, int]]] = []
+        for vm_id in sorted(state.vms):
+            vm = state.vms[vm_id]
+            if not vm.is_placed:
+                continue
+            source_pm = vm.pm_id
+            before_source = state.pm_fragment(source_pm)
+            placement = state.remove_vm(vm_id)
+            after_source = state.pm_fragment(source_pm)
+            for pm_id in state.pms:
+                if pm_id == source_pm:
+                    continue
+                if (
+                    self.constraint_config.honor_anti_affinity
+                    and pm_id in state.conflicting_pm_ids(vm_id)
+                ):
+                    continue
+                numa_id = state.best_numa_for(vm_id, pm_id, honor_affinity=False)
+                if numa_id is None:
+                    continue
+                before_dest = state.pm_fragment(pm_id)
+                state.place_vm(vm_id, _placement(pm_id, numa_id), honor_affinity=False)
+                after_dest = state.pm_fragment(pm_id)
+                state.remove_vm(vm_id)
+                gain = (before_source - after_source) + (before_dest - after_dest)
+                scored.append((gain, (vm_id, pm_id)))
+            state.place_vm(vm_id, placement, honor_affinity=False)
+        scored.sort(key=lambda item: -item[0])
+        return [action for _, action in scored[:limit]]
+
+    def _apply(self, state: ClusterState, action: Tuple[int, int]) -> float:
+        return self._greedy_gain(state, action, commit=True)
+
+    def _greedy_gain(self, state: ClusterState, action: Tuple[int, int], commit: bool = False) -> float:
+        vm_id, dest_pm_id = action
+        vm = state.vms[vm_id]
+        source_pm = vm.pm_id
+        before = state.pm_fragment(source_pm) + state.pm_fragment(dest_pm_id)
+        working = state if commit else state.copy()
+        try:
+            working.migrate_vm(vm_id, dest_pm_id, honor_affinity=self.constraint_config.honor_anti_affinity)
+        except ValueError:
+            return -float("inf")
+        after = working.pm_fragment(source_pm) + working.pm_fragment(dest_pm_id)
+        return before - after
+
+
+def _placement(pm_id: int, numa_id: int):
+    from ..cluster import Placement
+
+    return Placement(pm_id=pm_id, numa_id=numa_id)

@@ -1,0 +1,206 @@
+"""Command-line interface for the VMR2L reproduction.
+
+Provides the day-to-day operations a cluster operator or researcher needs
+without writing Python:
+
+``python -m repro.cli generate-dataset``
+    Generate and persist a synthetic mapping dataset (Medium/Large/... analogue).
+``python -m repro.cli train``
+    Train a VMR2L agent on a dataset's training split and save the checkpoint.
+``python -m repro.cli evaluate``
+    Evaluate a checkpoint (and optionally the baselines) on the test split.
+``python -m repro.cli plan``
+    Compute a migration plan for a single mapping snapshot and print it.
+
+Every subcommand prints a compact table and returns machine-readable JSON when
+``--json`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .analysis import format_table, render_trace, trace_plan
+from .baselines import FilteringHeuristic, MIPRescheduler, POPRescheduler, evaluate_plan
+from .cluster import ClusterState, ConstraintConfig
+from .core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
+from .datasets import DatasetReader, build_dataset, get_spec, load_mappings, spec_for_workload
+
+BASELINE_FACTORIES = {
+    "ha": lambda: FilteringHeuristic(),
+    "mip": lambda: MIPRescheduler(time_limit_s=60.0),
+    "pop": lambda: POPRescheduler(num_partitions=4, time_limit_s=5.0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate-dataset", help="generate a synthetic mapping dataset")
+    generate.add_argument("--output", required=True, help="dataset directory to create")
+    generate.add_argument("--preset", default="small", help="cluster preset (small/medium/large/multi_resource)")
+    generate.add_argument("--workload", default=None, help="optional workload level (low/middle/high)")
+    generate.add_argument("--num-mappings", type=int, default=40)
+    generate.add_argument("--num-pms", type=int, default=None, help="override the preset PM count")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--json", action="store_true")
+
+    train = subparsers.add_parser("train", help="train a VMR2L agent on a dataset")
+    train.add_argument("--dataset", required=True, help="dataset directory from generate-dataset")
+    train.add_argument("--checkpoint", required=True, help="path for the saved agent (.npz)")
+    train.add_argument("--total-steps", type=int, default=4096)
+    train.add_argument("--migration-limit", type=int, default=10)
+    train.add_argument("--embed-dim", type=int, default=16)
+    train.add_argument("--num-heads", type=int, default=2)
+    train.add_argument("--num-blocks", type=int, default=1)
+    train.add_argument("--extractor", default="sparse", choices=["sparse", "vanilla"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--json", action="store_true")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint and baselines on the test split")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--checkpoint", default=None, help="VMR2L checkpoint to evaluate")
+    evaluate.add_argument("--baselines", default="ha", help="comma-separated subset of: ha,mip,pop")
+    evaluate.add_argument("--migration-limit", type=int, default=10)
+    evaluate.add_argument("--max-mappings", type=int, default=3)
+    evaluate.add_argument("--json", action="store_true")
+
+    plan = subparsers.add_parser("plan", help="compute a migration plan for one mapping")
+    plan.add_argument("--mapping", required=True, help="JSON-lines file; the first mapping is used")
+    plan.add_argument("--checkpoint", default=None, help="VMR2L checkpoint (defaults to the HA heuristic)")
+    plan.add_argument("--migration-limit", type=int, default=10)
+    plan.add_argument("--visualize", action="store_true", help="render per-step NUMA occupancy")
+    plan.add_argument("--json", action="store_true")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations (also used directly by tests)
+# --------------------------------------------------------------------------- #
+def cmd_generate_dataset(args) -> Dict:
+    if args.workload:
+        spec = spec_for_workload(args.workload, base=args.preset)
+    else:
+        spec = get_spec(args.preset)
+    if args.num_pms:
+        spec = type(spec)(**{**spec.__dict__, "num_pms": args.num_pms})
+    splits, root = build_dataset(spec, num_mappings=args.num_mappings, root=args.output, seed=args.seed,
+                                 workload_level=args.workload or "high")
+    summary = {
+        "dataset": str(root),
+        "num_pms": spec.num_pms,
+        "splits": {name: len(states) for name, states in splits.items()},
+    }
+    _emit(args, [summary], title="generated dataset")
+    return summary
+
+
+def cmd_train(args) -> Dict:
+    reader = DatasetReader(args.dataset)
+    train_states = reader.load_split("train")
+    eval_states = None
+    if "validation" in reader.available_splits():
+        eval_states = reader.load_split("validation", limit=2)
+    config = VMR2LConfig(
+        model=ModelConfig(embed_dim=args.embed_dim, num_heads=args.num_heads,
+                          num_blocks=args.num_blocks, extractor=args.extractor),
+        ppo=PPOConfig(rollout_steps=128, minibatch_size=32, update_epochs=2, learning_rate=2.5e-3,
+                      seed=args.seed),
+        risk_seeking=RiskSeekingConfig(num_trajectories=4),
+        migration_limit=args.migration_limit,
+    )
+    agent = VMR2LAgent(config, constraint_config=ConstraintConfig(migration_limit=args.migration_limit),
+                       seed=args.seed)
+    history = agent.train_on_states(train_states, total_steps=args.total_steps,
+                                    eval_states=eval_states, eval_every=4)
+    path = agent.save(args.checkpoint)
+    summary = {
+        "checkpoint": str(path),
+        "updates": len(history),
+        "final_mean_reward": history[-1].mean_reward if history else 0.0,
+        "final_eval_metric": next((h.eval_metric for h in reversed(history) if h.eval_metric is not None), None),
+    }
+    _emit(args, [summary], title="training summary")
+    return summary
+
+
+def cmd_evaluate(args) -> List[Dict]:
+    reader = DatasetReader(args.dataset)
+    test_states = reader.load_split("test", limit=args.max_mappings)
+    planners = []
+    for name in [token.strip().lower() for token in args.baselines.split(",") if token.strip()]:
+        if name not in BASELINE_FACTORIES:
+            raise SystemExit(f"unknown baseline {name!r}; choose from {sorted(BASELINE_FACTORIES)}")
+        planners.append(BASELINE_FACTORIES[name]())
+    if args.checkpoint:
+        planners.append(VMR2LAgent.load(args.checkpoint))
+    rows = []
+    for planner in planners:
+        finals, times = [], []
+        for state in test_states:
+            result = planner.compute_plan(state, args.migration_limit)
+            evaluation = evaluate_plan(state, result)
+            finals.append(evaluation.final_objective)
+            times.append(evaluation.inference_seconds)
+        rows.append(
+            {
+                "algorithm": planner.name,
+                "mean_fragment_rate": sum(finals) / len(finals),
+                "mean_inference_s": sum(times) / len(times),
+                "mappings": len(test_states),
+            }
+        )
+    _emit(args, rows, title=f"evaluation on {args.dataset} (MNL={args.migration_limit})")
+    return rows
+
+
+def cmd_plan(args) -> Dict:
+    states = load_mappings(args.mapping, limit=1)
+    if not states:
+        raise SystemExit(f"no mappings found in {args.mapping}")
+    state = states[0]
+    planner = VMR2LAgent.load(args.checkpoint) if args.checkpoint else FilteringHeuristic()
+    result = planner.compute_plan(state, args.migration_limit)
+    evaluation = evaluate_plan(state, result)
+    summary = {
+        "algorithm": planner.name,
+        "initial_fragment_rate": evaluation.initial_objective,
+        "final_fragment_rate": evaluation.final_objective,
+        "migrations": [(m.vm_id, m.dest_pm_id) for m in result.plan],
+        "inference_s": result.inference_seconds,
+    }
+    _emit(args, [dict(summary, migrations=len(result.plan))], title="plan summary")
+    if args.visualize and not args.json:
+        print()
+        print(render_trace(trace_plan(state, result.plan), max_steps=10))
+    return summary
+
+
+def _emit(args, rows: Sequence[Dict], title: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(list(rows), indent=2, default=str))
+    else:
+        print(format_table(rows, title=title))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-dataset": cmd_generate_dataset,
+        "train": cmd_train,
+        "evaluate": cmd_evaluate,
+        "plan": cmd_plan,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

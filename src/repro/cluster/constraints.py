@@ -1,0 +1,218 @@
+"""Constraint modelling for VM rescheduling.
+
+The MIP formulation of §2.1 carries five families of constraints: per-NUMA CPU
+capacity (Eq. 2), per-NUMA memory capacity (Eq. 3), exactly-one-PM placement
+(Eq. 4), the migration number limit (Eq. 5) and the double-NUMA co-location
+rule (Eq. 6).  Section 5.4 adds hard anti-affinity ("service") constraints.
+
+This module provides a declarative description of the active constraint set
+plus the vectorized feasibility masks the two-stage policy uses in stage 2
+(mask out every PM that cannot host the selected VM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .machine import VirtualMachine
+from .state import ClusterState
+
+
+@dataclass
+class ConstraintConfig:
+    """Which constraints are active for a rescheduling task.
+
+    Attributes
+    ----------
+    migration_limit:
+        MNL — the maximum number of VMs migrated per rescheduling task (Eq. 5).
+        The paper notes this is typically 2–3% of the VM count.
+    honor_anti_affinity:
+        Enforce hard anti-affinity groups (§5.4 "Service Constraints").
+    allow_source_pm:
+        Whether an action may "migrate" a VM back onto its own source PM.  The
+        paper's action space always excludes the source PM.
+    check_memory:
+        Enforce the memory capacity constraint (Eq. 3).  Disabling it models
+        CPU-only clusters used in some ablations.
+    """
+
+    migration_limit: int = 50
+    honor_anti_affinity: bool = True
+    allow_source_pm: bool = False
+    check_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.migration_limit <= 0:
+            raise ValueError("migration_limit (MNL) must be positive")
+
+
+@dataclass
+class ConstraintViolation:
+    """A single violated constraint, for diagnostics and tests."""
+
+    kind: str
+    message: str
+    vm_id: Optional[int] = None
+    pm_id: Optional[int] = None
+
+
+class ConstraintChecker:
+    """Validate rescheduling actions and plans against a :class:`ConstraintConfig`."""
+
+    def __init__(self, config: Optional[ConstraintConfig] = None) -> None:
+        self.config = config or ConstraintConfig()
+
+    # ------------------------------------------------------------------ #
+    # Single-action feasibility
+    # ------------------------------------------------------------------ #
+    def migration_is_feasible(self, state: ClusterState, vm_id: int, dest_pm_id: int) -> bool:
+        """Whether migrating ``vm_id`` to ``dest_pm_id`` satisfies all constraints."""
+        vm = state.vms.get(vm_id)
+        if vm is None or not vm.is_placed:
+            return False
+        if not self.config.allow_source_pm and dest_pm_id == vm.pm_id:
+            return False
+        if dest_pm_id not in state.pms:
+            return False
+        return state.can_host(
+            vm_id, dest_pm_id, honor_affinity=self.config.honor_anti_affinity
+        )
+
+    def explain_migration(self, state: ClusterState, vm_id: int, dest_pm_id: int) -> List[ConstraintViolation]:
+        """Return the list of violations for a proposed migration (empty if legal)."""
+        violations: List[ConstraintViolation] = []
+        vm = state.vms.get(vm_id)
+        if vm is None:
+            return [ConstraintViolation("missing_vm", f"VM {vm_id} does not exist", vm_id=vm_id)]
+        if not vm.is_placed:
+            violations.append(ConstraintViolation("unplaced_vm", f"VM {vm_id} is not placed", vm_id=vm_id))
+            return violations
+        if dest_pm_id not in state.pms:
+            return [ConstraintViolation("missing_pm", f"PM {dest_pm_id} does not exist", pm_id=dest_pm_id)]
+        if not self.config.allow_source_pm and dest_pm_id == vm.pm_id:
+            violations.append(
+                ConstraintViolation(
+                    "source_pm", f"VM {vm_id} already resides on PM {dest_pm_id}", vm_id=vm_id, pm_id=dest_pm_id
+                )
+            )
+        pm = state.pms[dest_pm_id]
+        if vm.numa_count == 2:
+            for numa in pm.numas:
+                if numa.free_cpu + 1e-9 < vm.cpu_per_numa:
+                    violations.append(
+                        ConstraintViolation("cpu_capacity", f"NUMA {numa.numa_id} lacks CPU", vm_id, dest_pm_id)
+                    )
+                if self.config.check_memory and numa.free_memory + 1e-9 < vm.memory_per_numa:
+                    violations.append(
+                        ConstraintViolation("memory_capacity", f"NUMA {numa.numa_id} lacks memory", vm_id, dest_pm_id)
+                    )
+        else:
+            cpu_ok = any(numa.free_cpu + 1e-9 >= vm.cpu for numa in pm.numas)
+            if not cpu_ok:
+                violations.append(ConstraintViolation("cpu_capacity", "no NUMA has enough CPU", vm_id, dest_pm_id))
+            if self.config.check_memory:
+                both_ok = any(
+                    numa.free_cpu + 1e-9 >= vm.cpu and numa.free_memory + 1e-9 >= vm.memory
+                    for numa in pm.numas
+                )
+                if cpu_ok and not both_ok:
+                    violations.append(
+                        ConstraintViolation("memory_capacity", "no NUMA has enough CPU and memory", vm_id, dest_pm_id)
+                    )
+        if self.config.honor_anti_affinity and dest_pm_id in state.conflicting_pm_ids(vm_id):
+            violations.append(
+                ConstraintViolation("anti_affinity", f"PM {dest_pm_id} hosts a conflicting VM", vm_id, dest_pm_id)
+            )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # Vectorized masks (the stage-2 PM mask of the two-stage framework)
+    # ------------------------------------------------------------------ #
+    def destination_mask(self, state: ClusterState, vm_id: int, pm_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Boolean mask over PMs: True where the PM can receive ``vm_id``."""
+        pm_ids = list(pm_ids) if pm_ids is not None else sorted(state.pms)
+        mask = np.zeros(len(pm_ids), dtype=bool)
+        for index, pm_id in enumerate(pm_ids):
+            mask[index] = self.migration_is_feasible(state, vm_id, pm_id)
+        return mask
+
+    def movable_vm_mask(self, state: ClusterState, vm_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Boolean mask over VMs: True where the VM has at least one destination."""
+        vm_ids = list(vm_ids) if vm_ids is not None else sorted(state.vms)
+        mask = np.zeros(len(vm_ids), dtype=bool)
+        for index, vm_id in enumerate(vm_ids):
+            vm = state.vms[vm_id]
+            if not vm.is_placed:
+                continue
+            destinations = state.feasible_destination_pms(
+                vm_id,
+                exclude_source=not self.config.allow_source_pm,
+                honor_affinity=self.config.honor_anti_affinity,
+            )
+            mask[index] = bool(destinations)
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Plan-level validation
+    # ------------------------------------------------------------------ #
+    def validate_plan(self, state: ClusterState, migrations: Sequence, partial: bool = False) -> List[ConstraintViolation]:
+        """Check a migration plan (a sequence of (vm_id, dest_pm_id)) end to end.
+
+        The plan is validated against a *copy* of the state, applying each step
+        in order, so capacity freed by earlier steps is visible to later ones —
+        exactly how the plan would execute in the data center.  Set ``partial``
+        to allow steps that fail (they are recorded and skipped), mirroring how
+        production treats stale actions (footnote 7 of the paper).
+        """
+        violations: List[ConstraintViolation] = []
+        working = state.copy()
+        if len(migrations) > self.config.migration_limit:
+            violations.append(
+                ConstraintViolation(
+                    "mnl",
+                    f"plan has {len(migrations)} migrations, limit is {self.config.migration_limit}",
+                )
+            )
+        for step in migrations:
+            vm_id, dest_pm_id = int(step[0]), int(step[1])
+            step_violations = self.explain_migration(working, vm_id, dest_pm_id)
+            if step_violations:
+                violations.extend(step_violations)
+                if partial:
+                    continue
+                break
+            working.migrate_vm(vm_id, dest_pm_id, honor_affinity=self.config.honor_anti_affinity)
+        return violations
+
+
+def assign_anti_affinity_groups(
+    state: ClusterState,
+    group_count: int,
+    vms_per_group: int,
+    rng: np.random.Generator,
+) -> Dict[int, List[int]]:
+    """Synthesize anti-affinity groups on an existing cluster (§5.4, Table 2).
+
+    ``group_count`` groups of ``vms_per_group`` VMs are sampled without
+    replacement; members of a group may not share a PM in any *new* placement
+    (existing co-locations are left untouched, as the constraint only applies
+    to rescheduling decisions).  Returns the mapping group id → VM ids.
+    """
+    if group_count < 0 or vms_per_group < 2:
+        raise ValueError("need group_count >= 0 and vms_per_group >= 2")
+    vm_ids = np.array(sorted(state.vms), dtype=int)
+    needed = group_count * vms_per_group
+    if needed > len(vm_ids):
+        raise ValueError(f"cannot form {group_count} groups of {vms_per_group} from {len(vm_ids)} VMs")
+    chosen = rng.choice(vm_ids, size=needed, replace=False)
+    groups: Dict[int, List[int]] = {}
+    for group_id in range(group_count):
+        members = chosen[group_id * vms_per_group : (group_id + 1) * vms_per_group]
+        groups[group_id] = [int(vm_id) for vm_id in members]
+        for vm_id in members:
+            state.vms[int(vm_id)].anti_affinity_group = group_id
+    return groups

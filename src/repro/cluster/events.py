@@ -1,0 +1,198 @@
+"""Dynamic VM arrival / exit events.
+
+Figure 1 of the paper shows the number of VM arrivals and exits per minute over
+24 hours: a pronounced diurnal pattern with a peak during working hours and a
+trough in the early morning, which is when VMR runs.  Figure 5 shows why this
+matters: while a rescheduling algorithm computes, the cluster keeps changing,
+so slow solvers see many of their actions invalidated.
+
+This module provides the diurnal arrival/exit process, the event stream
+data structures, and the machinery to replay events onto a cluster state while
+a plan is "being computed" (used by :mod:`repro.analysis.dynamics` for the
+Fig. 5 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .machine import VirtualMachine
+from .state import ClusterState, Placement
+from .vm_types import VMType, VMTypeCatalog
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """A single VM arrival or exit at ``time_s`` seconds from the VMR request."""
+
+    time_s: float
+    kind: str  # "arrival" or "exit"
+    vm_type_name: Optional[str] = None
+    vm_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("arrival", "exit"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+def diurnal_rate_profile(
+    peak_per_minute: float = 80.0,
+    trough_per_minute: float = 6.0,
+    peak_hour: float = 14.0,
+) -> np.ndarray:
+    """Per-minute VM change rate over a day (the green curve of Fig. 1).
+
+    A raised cosine with its maximum at ``peak_hour`` and minimum 12 hours
+    away, matching the qualitative shape reported by the paper (busy afternoon,
+    quiet early morning around 4–6 am when VMR runs).
+    """
+    if peak_per_minute <= trough_per_minute:
+        raise ValueError("peak rate must exceed trough rate")
+    minutes = np.arange(MINUTES_PER_DAY)
+    phase = 2.0 * np.pi * (minutes / 60.0 - peak_hour) / 24.0
+    shape = 0.5 * (1.0 + np.cos(phase))
+    return trough_per_minute + (peak_per_minute - trough_per_minute) * shape
+
+
+def sample_daily_changes(
+    rng: np.random.Generator,
+    peak_per_minute: float = 80.0,
+    trough_per_minute: float = 6.0,
+    arrival_fraction: float = 0.5,
+) -> dict:
+    """Sample per-minute arrival and exit counts for one day (Fig. 1 series)."""
+    rates = diurnal_rate_profile(peak_per_minute, trough_per_minute)
+    totals = rng.poisson(rates)
+    arrivals = rng.binomial(totals, arrival_fraction)
+    exits = totals - arrivals
+    return {
+        "minute": np.arange(MINUTES_PER_DAY),
+        "arrivals": arrivals,
+        "exits": exits,
+        "total": totals,
+    }
+
+
+class EventGenerator:
+    """Generate a stream of arrival/exit events around a VMR request.
+
+    VMR runs off-peak, so the default rate corresponds to the trough of the
+    diurnal profile.  Events are exponential-interarrival (Poisson process).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[VMTypeCatalog] = None,
+        changes_per_minute: float = 6.0,
+        arrival_fraction: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if changes_per_minute <= 0:
+            raise ValueError("changes_per_minute must be positive")
+        if not 0.0 <= arrival_fraction <= 1.0:
+            raise ValueError("arrival_fraction must be in [0, 1]")
+        self.catalog = catalog or VMTypeCatalog.main()
+        self.changes_per_minute = changes_per_minute
+        self.arrival_fraction = arrival_fraction
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def generate(self, horizon_s: float, state: Optional[ClusterState] = None) -> List[ClusterEvent]:
+        """Events within ``horizon_s`` seconds; exits reference VMs of ``state`` if given."""
+        if horizon_s <= 0:
+            return []
+        mean_gap_s = 60.0 / self.changes_per_minute
+        events: List[ClusterEvent] = []
+        placed = list(state.placed_vm_ids()) if state is not None else []
+        self.rng.shuffle(placed)
+        time_s = self.rng.exponential(mean_gap_s)
+        while time_s < horizon_s:
+            if self.rng.random() < self.arrival_fraction or not placed:
+                vm_type = self._sample_vm_type()
+                events.append(ClusterEvent(time_s=time_s, kind="arrival", vm_type_name=vm_type.name))
+            else:
+                vm_id = placed.pop()
+                events.append(ClusterEvent(time_s=time_s, kind="exit", vm_id=vm_id))
+            time_s += self.rng.exponential(mean_gap_s)
+        return events
+
+    def _sample_vm_type(self) -> VMType:
+        types = list(self.catalog)
+        # Smaller VMs arrive much more often than large ones (§1).
+        weights = np.array([1.0 / vm_type.cpu for vm_type in types])
+        weights /= weights.sum()
+        index = self.rng.choice(len(types), p=weights)
+        return types[index]
+
+
+def apply_events(
+    state: ClusterState,
+    events: Iterable[ClusterEvent],
+    until_s: float,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Replay events with ``time_s <= until_s`` onto ``state`` in place.
+
+    Arrivals are scheduled with best-fit VMS (the production scheduler the
+    paper describes in §1): among feasible (PM, NUMA) targets, pick the one
+    whose post-placement fragment is smallest.  Arrivals that cannot fit are
+    dropped (counted as ``failed_arrivals``).  Returns occupancy statistics.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    next_vm_id = max(state.vms, default=0) + 1
+    stats = {"arrivals": 0, "exits": 0, "failed_arrivals": 0}
+    catalog = VMTypeCatalog.multi_resource()
+    for event in sorted(events, key=lambda e: e.time_s):
+        if event.time_s > until_s:
+            break
+        if event.kind == "exit":
+            if event.vm_id is not None and event.vm_id in state.vms:
+                state.remove_vm_from_cluster(event.vm_id)
+                stats["exits"] += 1
+            continue
+        vm_type = catalog.get(event.vm_type_name) if event.vm_type_name in catalog else None
+        if vm_type is None:
+            continue
+        vm = VirtualMachine(vm_id=next_vm_id, vm_type=vm_type)
+        next_vm_id += 1
+        placement = best_fit_placement(state, vm)
+        if placement is None:
+            stats["failed_arrivals"] += 1
+            continue
+        state.add_vm(vm, placement)
+        stats["arrivals"] += 1
+    return stats
+
+
+def best_fit_placement(state: ClusterState, vm: VirtualMachine) -> Optional[Placement]:
+    """Best-fit VMS: choose the feasible placement with the largest FR reduction.
+
+    This mirrors the production VM scheduler described in §1 ("sorts all PMs
+    that meet the requirements ... according to the amount of FR reduction ...
+    and chooses the PM with the largest reduction").  Returns ``None`` when no
+    PM can host the VM.
+    """
+    was_member = vm.vm_id in state.vms
+    if not was_member:
+        state.vms[vm.vm_id] = vm
+    best: Optional[Placement] = None
+    best_key = None
+    try:
+        for pm_id in sorted(state.pms):
+            for numa_id in state.feasible_numas(vm.vm_id, pm_id):
+                before = state.pm_fragment(pm_id)
+                state.place_vm(vm.vm_id, Placement(pm_id=pm_id, numa_id=numa_id))
+                after = state.pm_fragment(pm_id)
+                state.remove_vm(vm.vm_id)
+                key = (after - before, state.pms[pm_id].free_cpu)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = Placement(pm_id=pm_id, numa_id=numa_id)
+    finally:
+        if not was_member:
+            del state.vms[vm.vm_id]
+    return best

@@ -1,0 +1,187 @@
+"""Migration plans and the live-migration cost model.
+
+A rescheduling algorithm produces a :class:`MigrationPlan`: an ordered list of
+single-VM migrations (the paper's episode of up to MNL steps).  The plan can be
+applied to a :class:`~repro.cluster.state.ClusterState`, partially applied when
+some steps have become stale (footnote 7), and costed with a simple live
+migration model (pre-copy of memory plus dirty-page rounds, §1 "VM
+Rescheduling").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .state import ClusterState
+
+
+@dataclass(frozen=True)
+class Migration:
+    """A single rescheduling step: move ``vm_id`` to ``dest_pm_id``."""
+
+    vm_id: int
+    dest_pm_id: int
+    dest_numa_id: Optional[int] = None
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.vm_id, self.dest_pm_id)
+
+
+@dataclass
+class MigrationPlan:
+    """An ordered sequence of migrations produced by a rescheduler."""
+
+    migrations: List[Migration] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.migrations)
+
+    def __iter__(self):
+        return iter(self.migrations)
+
+    def append(self, migration: Migration) -> None:
+        self.migrations.append(migration)
+
+    def vm_ids(self) -> List[int]:
+        return [m.vm_id for m in self.migrations]
+
+    def truncated(self, limit: int) -> "MigrationPlan":
+        """Return a copy containing only the first ``limit`` migrations."""
+        return MigrationPlan(list(self.migrations[:limit]))
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[int, int]]) -> "MigrationPlan":
+        return cls([Migration(vm_id=int(v), dest_pm_id=int(p)) for v, p in pairs])
+
+
+@dataclass
+class PlanApplicationResult:
+    """Outcome of applying a plan to a cluster state."""
+
+    applied: List[Migration]
+    skipped: List[Migration]
+    initial_fragment_rate: float
+    final_fragment_rate: float
+
+    @property
+    def num_applied(self) -> int:
+        return len(self.applied)
+
+    @property
+    def fr_reduction(self) -> float:
+        return self.initial_fragment_rate - self.final_fragment_rate
+
+
+def apply_plan(
+    state: ClusterState,
+    plan: MigrationPlan,
+    honor_affinity: bool = True,
+    skip_infeasible: bool = True,
+    in_place: bool = False,
+) -> Tuple[ClusterState, PlanApplicationResult]:
+    """Apply ``plan`` to ``state`` (on a copy unless ``in_place``).
+
+    Infeasible steps are skipped when ``skip_infeasible`` is set, which mirrors
+    production behaviour: a stale action simply leaves the VM on its source PM
+    (footnote 7 of the paper).  Otherwise the first infeasible step raises.
+    """
+    working = state if in_place else state.copy()
+    initial_fr = working.fragment_rate()
+    applied: List[Migration] = []
+    skipped: List[Migration] = []
+    for migration in plan:
+        vm = working.vms.get(migration.vm_id)
+        feasible = (
+            vm is not None
+            and vm.is_placed
+            and vm.pm_id != migration.dest_pm_id
+            and migration.dest_pm_id in working.pms
+            and working.can_host(migration.vm_id, migration.dest_pm_id, honor_affinity=honor_affinity)
+        )
+        if not feasible:
+            if skip_infeasible:
+                skipped.append(migration)
+                continue
+            raise ValueError(f"migration {migration} is infeasible")
+        working.migrate_vm(
+            migration.vm_id,
+            migration.dest_pm_id,
+            dest_numa_id=migration.dest_numa_id,
+            honor_affinity=honor_affinity,
+        )
+        applied.append(migration)
+    result = PlanApplicationResult(
+        applied=applied,
+        skipped=skipped,
+        initial_fragment_rate=initial_fr,
+        final_fragment_rate=working.fragment_rate(),
+    )
+    return working, result
+
+
+@dataclass
+class LiveMigrationCostModel:
+    """Estimate the wall-clock cost and downtime of live migrations.
+
+    Compute-storage separation means only memory moves (§1): the model runs
+    pre-copy rounds over the VM's memory, shrinking the residual dirty set by
+    ``dirty_page_ratio`` each round until it falls below ``stop_threshold_gb``,
+    then pauses the VM for the final synchronization.
+    """
+
+    network_bandwidth_gbps: float = 25.0
+    dirty_page_ratio: float = 0.15
+    stop_threshold_gb: float = 0.25
+    max_rounds: int = 10
+
+    def migration_seconds(self, memory_gb: float) -> float:
+        """Total transfer time for one VM of ``memory_gb`` memory."""
+        if memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        bandwidth_gb_per_s = self.network_bandwidth_gbps / 8.0
+        remaining = float(memory_gb)
+        total = 0.0
+        for _ in range(self.max_rounds):
+            total += remaining / bandwidth_gb_per_s
+            remaining *= self.dirty_page_ratio
+            if remaining <= self.stop_threshold_gb:
+                break
+        total += remaining / bandwidth_gb_per_s
+        return total
+
+    def downtime_seconds(self, memory_gb: float) -> float:
+        """Pause time for the final synchronization round."""
+        bandwidth_gb_per_s = self.network_bandwidth_gbps / 8.0
+        remaining = float(memory_gb)
+        for _ in range(self.max_rounds):
+            next_remaining = remaining * self.dirty_page_ratio
+            if next_remaining <= self.stop_threshold_gb:
+                remaining = next_remaining
+                break
+            remaining = next_remaining
+        return remaining / bandwidth_gb_per_s
+
+    def plan_cost(self, state: ClusterState, plan: MigrationPlan, parallelism: int = 4) -> dict:
+        """Aggregate cost of a plan assuming ``parallelism`` concurrent migrations."""
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        durations = []
+        total_memory = 0.0
+        for migration in plan:
+            vm = state.vms.get(migration.vm_id)
+            if vm is None:
+                continue
+            durations.append(self.migration_seconds(vm.memory))
+            total_memory += vm.memory
+        durations.sort(reverse=True)
+        # Greedy longest-processing-time makespan approximation.
+        lanes = [0.0] * parallelism
+        for duration in durations:
+            lanes[lanes.index(min(lanes))] += duration
+        return {
+            "num_migrations": len(durations),
+            "total_memory_gb": total_memory,
+            "serial_seconds": float(sum(durations)),
+            "makespan_seconds": float(max(lanes) if durations else 0.0),
+        }

@@ -1,0 +1,366 @@
+"""Cluster state: the authoritative VM→PM/NUMA placement bookkeeping.
+
+A :class:`ClusterState` owns all :class:`~repro.cluster.machine.PhysicalMachine`
+and :class:`~repro.cluster.machine.VirtualMachine` objects of one cluster and
+provides the operations every algorithm in this repository relies on:
+
+* feasibility checks for placing a VM on a PM (capacity + NUMA + anti-affinity),
+* placement / removal / migration with exact resource accounting,
+* fragment-rate metrics (delegated to :mod:`repro.cluster.fragmentation`),
+* deep copies for search / simulation, and
+* dict round-tripping used by the dataset format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from . import fragmentation
+from .machine import BOTH_NUMAS, NumaNode, PhysicalMachine, VirtualMachine
+from .vm_types import DEFAULT_PM_TYPE, PMType, VMType, VMTypeCatalog
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A (pm_id, numa_id) placement target; ``numa_id`` is BOTH_NUMAS for 2-NUMA VMs."""
+
+    pm_id: int
+    numa_id: int
+
+
+class ClusterState:
+    """Mutable state of one data-center cluster."""
+
+    def __init__(
+        self,
+        pms: Sequence[PhysicalMachine],
+        vms: Sequence[VirtualMachine],
+        fragment_cores: int = fragmentation.DEFAULT_FRAGMENT_CORES,
+    ) -> None:
+        if not pms:
+            raise ValueError("cluster requires at least one PM")
+        self.fragment_cores = fragment_cores
+        self.pms: Dict[int, PhysicalMachine] = {pm.pm_id: pm for pm in pms}
+        if len(self.pms) != len(pms):
+            raise ValueError("duplicate PM ids")
+        self.vms: Dict[int, VirtualMachine] = {vm.vm_id: vm for vm in vms}
+        if len(self.vms) != len(vms):
+            raise ValueError("duplicate VM ids")
+        # Apply initial placements recorded on the VM objects.
+        for vm in list(self.vms.values()):
+            if vm.pm_id is not None:
+                pm_id = vm.pm_id
+                numa_id = vm.numa_id if vm.numa_id is not None else (
+                    BOTH_NUMAS if vm.numa_count == 2 else 0
+                )
+                vm.pm_id = None
+                vm.numa_id = None
+                # Pre-existing co-locations are allowed: anti-affinity only
+                # constrains *new* rescheduling decisions (§5.4).
+                self.place_vm(vm.vm_id, Placement(pm_id=pm_id, numa_id=numa_id), honor_affinity=False)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pms(self) -> int:
+        return len(self.pms)
+
+    @property
+    def num_vms(self) -> int:
+        return len(self.vms)
+
+    def pm_list(self) -> List[PhysicalMachine]:
+        return [self.pms[pm_id] for pm_id in sorted(self.pms)]
+
+    def vm_list(self) -> List[VirtualMachine]:
+        return [self.vms[vm_id] for vm_id in sorted(self.vms)]
+
+    def placed_vm_ids(self) -> List[int]:
+        return [vm_id for vm_id in sorted(self.vms) if self.vms[vm_id].is_placed]
+
+    def vms_on_pm(self, pm_id: int) -> List[VirtualMachine]:
+        return [self.vms[vm_id] for vm_id in sorted(self.pms[pm_id].vm_ids)]
+
+    # ------------------------------------------------------------------ #
+    # Anti-affinity
+    # ------------------------------------------------------------------ #
+    def conflicting_pm_ids(self, vm_id: int) -> Set[int]:
+        """PMs hosting a VM in the same anti-affinity group as ``vm_id``."""
+        vm = self.vms[vm_id]
+        if vm.anti_affinity_group is None:
+            return set()
+        conflicts: Set[int] = set()
+        for other in self.vms.values():
+            if other.vm_id == vm_id or not other.is_placed:
+                continue
+            if other.anti_affinity_group == vm.anti_affinity_group:
+                conflicts.add(other.pm_id)
+        return conflicts
+
+    def affinity_ratio(self) -> float:
+        """Average fraction of other VMs a VM conflicts with (Table 2 metric)."""
+        total_vms = len(self.vms)
+        if total_vms <= 1:
+            return 0.0
+        group_sizes: Dict[int, int] = {}
+        for vm in self.vms.values():
+            if vm.anti_affinity_group is not None:
+                group_sizes[vm.anti_affinity_group] = group_sizes.get(vm.anti_affinity_group, 0) + 1
+        conflicts = sum(size * (size - 1) for size in group_sizes.values())
+        return conflicts / (total_vms * (total_vms - 1))
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def feasible_numas(self, vm_id: int, pm_id: int, honor_affinity: bool = True) -> List[int]:
+        """NUMA targets on ``pm_id`` that can host ``vm_id`` (empty if none).
+
+        For a double-NUMA VM the only possible target is ``BOTH_NUMAS``.  The
+        VM's current resources are *not* considered released: rescheduling
+        always moves a VM to a *different* PM, and the caller excludes the
+        source PM.
+        """
+        vm = self.vms[vm_id]
+        pm = self.pms[pm_id]
+        if honor_affinity and pm_id in self.conflicting_pm_ids(vm_id):
+            return []
+        if vm.numa_count == 2:
+            fits = all(
+                numa.can_host(vm.cpu_per_numa, vm.memory_per_numa) for numa in pm.numas
+            )
+            return [BOTH_NUMAS] if fits else []
+        return [
+            numa.numa_id
+            for numa in pm.numas
+            if numa.can_host(vm.cpu, vm.memory)
+        ]
+
+    def can_host(self, vm_id: int, pm_id: int, honor_affinity: bool = True) -> bool:
+        """Whether ``pm_id`` can host ``vm_id`` on at least one NUMA target."""
+        return bool(self.feasible_numas(vm_id, pm_id, honor_affinity=honor_affinity))
+
+    def feasible_destination_pms(
+        self, vm_id: int, exclude_source: bool = True, honor_affinity: bool = True
+    ) -> List[int]:
+        """All PMs that could receive ``vm_id`` right now."""
+        vm = self.vms[vm_id]
+        destinations = []
+        for pm_id in sorted(self.pms):
+            if exclude_source and vm.is_placed and pm_id == vm.pm_id:
+                continue
+            if self.can_host(vm_id, pm_id, honor_affinity=honor_affinity):
+                destinations.append(pm_id)
+        return destinations
+
+    def best_numa_for(self, vm_id: int, pm_id: int, honor_affinity: bool = True) -> Optional[int]:
+        """Pick the NUMA on ``pm_id`` minimizing the resulting fragment (best fit).
+
+        Returns ``None`` when the PM cannot host the VM at all.  Single-NUMA VMs
+        are assigned to the feasible NUMA whose post-placement X-core fragment
+        is smallest, breaking ties toward the NUMA with less free CPU.
+        """
+        candidates = self.feasible_numas(vm_id, pm_id, honor_affinity=honor_affinity)
+        if not candidates:
+            return None
+        vm = self.vms[vm_id]
+        if candidates == [BOTH_NUMAS]:
+            return BOTH_NUMAS
+        pm = self.pms[pm_id]
+
+        def post_fragment(numa_id: int) -> Tuple[float, float]:
+            numa = pm.numas[numa_id]
+            remaining = numa.free_cpu - vm.cpu
+            return (remaining % self.fragment_cores, numa.free_cpu)
+
+        return min(candidates, key=post_fragment)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def place_vm(self, vm_id: int, placement: Placement, honor_affinity: bool = True) -> None:
+        """Place an unplaced VM on the given PM/NUMA target."""
+        vm = self.vms[vm_id]
+        if vm.is_placed:
+            raise ValueError(f"VM {vm_id} is already placed on PM {vm.pm_id}")
+        pm = self.pms[placement.pm_id]
+        if honor_affinity and placement.pm_id in self.conflicting_pm_ids(vm_id):
+            raise ValueError(f"placing VM {vm_id} on PM {placement.pm_id} violates anti-affinity")
+        if vm.numa_count == 2:
+            if placement.numa_id != BOTH_NUMAS:
+                raise ValueError(f"double-NUMA VM {vm_id} must target both NUMAs")
+            for numa in pm.numas:
+                if not numa.can_host(vm.cpu_per_numa, vm.memory_per_numa):
+                    raise ValueError(
+                        f"PM {placement.pm_id} NUMA {numa.numa_id} cannot host half of VM {vm_id}"
+                    )
+            for numa in pm.numas:
+                numa.allocate(vm_id, vm.cpu_per_numa, vm.memory_per_numa)
+        else:
+            if placement.numa_id not in (0, 1):
+                raise ValueError(f"single-NUMA VM {vm_id} must target NUMA 0 or 1")
+            numa = pm.numas[placement.numa_id]
+            numa.allocate(vm_id, vm.cpu, vm.memory)
+        vm.pm_id = placement.pm_id
+        vm.numa_id = placement.numa_id
+
+    def remove_vm(self, vm_id: int) -> Placement:
+        """Remove a placed VM from its PM; returns the vacated placement."""
+        vm = self.vms[vm_id]
+        if not vm.is_placed:
+            raise ValueError(f"VM {vm_id} is not placed")
+        pm = self.pms[vm.pm_id]
+        previous = Placement(pm_id=vm.pm_id, numa_id=vm.numa_id)
+        if vm.numa_id == BOTH_NUMAS:
+            for numa in pm.numas:
+                numa.release(vm_id, vm.cpu_per_numa, vm.memory_per_numa)
+        else:
+            pm.numas[vm.numa_id].release(vm_id, vm.cpu, vm.memory)
+        vm.pm_id = None
+        vm.numa_id = None
+        return previous
+
+    def migrate_vm(
+        self,
+        vm_id: int,
+        dest_pm_id: int,
+        dest_numa_id: Optional[int] = None,
+        honor_affinity: bool = True,
+    ) -> Tuple[Placement, Placement]:
+        """Migrate a VM to a new PM, returning (source, destination) placements.
+
+        The operation is atomic: if the destination cannot host the VM the
+        original placement is restored and a ``ValueError`` is raised.
+        """
+        vm = self.vms[vm_id]
+        if not vm.is_placed:
+            raise ValueError(f"VM {vm_id} is not placed and cannot be migrated")
+        if dest_pm_id == vm.pm_id:
+            raise ValueError(f"VM {vm_id} is already on PM {dest_pm_id}")
+        source = self.remove_vm(vm_id)
+        if dest_numa_id is None:
+            dest_numa_id = self.best_numa_for(vm_id, dest_pm_id, honor_affinity=honor_affinity)
+        if dest_numa_id is None:
+            self.place_vm(vm_id, source, honor_affinity=False)
+            raise ValueError(f"PM {dest_pm_id} cannot host VM {vm_id}")
+        destination = Placement(pm_id=dest_pm_id, numa_id=dest_numa_id)
+        try:
+            self.place_vm(vm_id, destination, honor_affinity=honor_affinity)
+        except ValueError:
+            self.place_vm(vm_id, source, honor_affinity=False)
+            raise
+        return source, destination
+
+    def remove_vm_from_cluster(self, vm_id: int) -> None:
+        """Delete a VM entirely (a completed VM exiting, §1 / Fig. 1)."""
+        vm = self.vms[vm_id]
+        if vm.is_placed:
+            self.remove_vm(vm_id)
+        del self.vms[vm_id]
+
+    def add_vm(self, vm: VirtualMachine, placement: Optional[Placement] = None) -> None:
+        """Add a new VM (an arrival); optionally place it immediately."""
+        if vm.vm_id in self.vms:
+            raise ValueError(f"VM id {vm.vm_id} already exists")
+        vm.pm_id = None
+        vm.numa_id = None
+        self.vms[vm.vm_id] = vm
+        if placement is not None:
+            self.place_vm(vm.vm_id, placement)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def fragment_rate(self, x_cores: Optional[int] = None) -> float:
+        return fragmentation.fragment_rate(self.pms.values(), x_cores or self.fragment_cores)
+
+    def memory_fragment_rate(self, x_memory: float = 64.0) -> float:
+        return fragmentation.memory_fragment_rate(self.pms.values(), x_memory)
+
+    def total_fragment(self, x_cores: Optional[int] = None) -> float:
+        return fragmentation.cluster_cpu_fragment(self.pms.values(), x_cores or self.fragment_cores)
+
+    def pm_fragment(self, pm_id: int, x_cores: Optional[int] = None) -> float:
+        return fragmentation.pm_cpu_fragment(self.pms[pm_id], x_cores or self.fragment_cores)
+
+    def cpu_utilization(self) -> float:
+        total = sum(pm.cpu_capacity for pm in self.pms.values())
+        free = sum(pm.free_cpu for pm in self.pms.values())
+        return 1.0 - free / total
+
+    # ------------------------------------------------------------------ #
+    # Copy / serialization
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "ClusterState":
+        clone = object.__new__(ClusterState)
+        clone.fragment_cores = self.fragment_cores
+        clone.pms = {pm_id: pm.copy() for pm_id, pm in self.pms.items()}
+        clone.vms = {
+            vm_id: VirtualMachine(
+                vm_id=vm.vm_id,
+                vm_type=vm.vm_type,
+                pm_id=vm.pm_id,
+                numa_id=vm.numa_id,
+                anti_affinity_group=vm.anti_affinity_group,
+            )
+            for vm_id, vm in self.vms.items()
+        }
+        return clone
+
+    def to_dict(self) -> Dict:
+        """Serialize to the dataset mapping format (see repro.datasets.schema)."""
+        return {
+            "fragment_cores": self.fragment_cores,
+            "pms": [
+                {
+                    "pm_id": pm.pm_id,
+                    "type": pm.pm_type.name,
+                    "cpu": pm.pm_type.cpu,
+                    "memory": pm.pm_type.memory,
+                }
+                for pm in self.pm_list()
+            ],
+            "vms": [
+                {
+                    "vm_id": vm.vm_id,
+                    "type": vm.vm_type.name,
+                    "cpu": vm.vm_type.cpu,
+                    "memory": vm.vm_type.memory,
+                    "numa_count": vm.vm_type.numa_count,
+                    "pm_id": vm.pm_id,
+                    "numa_id": vm.numa_id,
+                    "anti_affinity_group": vm.anti_affinity_group,
+                }
+                for vm in self.vm_list()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ClusterState":
+        pms = []
+        for pm_spec in payload["pms"]:
+            pm_type = PMType(
+                name=pm_spec.get("type", DEFAULT_PM_TYPE.name),
+                cpu=int(pm_spec["cpu"]),
+                memory=int(pm_spec["memory"]),
+            )
+            pms.append(PhysicalMachine(pm_id=int(pm_spec["pm_id"]), pm_type=pm_type))
+        vms = []
+        for vm_spec in payload["vms"]:
+            vm_type = VMType(
+                name=vm_spec.get("type", f"custom-{vm_spec['cpu']}c"),
+                cpu=int(vm_spec["cpu"]),
+                memory=int(vm_spec["memory"]),
+                numa_count=int(vm_spec.get("numa_count", 1)),
+            )
+            vms.append(
+                VirtualMachine(
+                    vm_id=int(vm_spec["vm_id"]),
+                    vm_type=vm_type,
+                    pm_id=vm_spec.get("pm_id"),
+                    numa_id=vm_spec.get("numa_id"),
+                    anti_affinity_group=vm_spec.get("anti_affinity_group"),
+                )
+            )
+        return cls(pms=pms, vms=vms, fragment_cores=int(payload.get("fragment_cores", 16)))

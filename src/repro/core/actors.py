@@ -1,0 +1,89 @@
+"""The VM actor, PM actor and value head of the two-stage policy (§3.2–3.3).
+
+* The **VM actor** linearly projects the VM embeddings from the feature
+  extractor into per-VM logits (Fig. 6 / Fig. 8).
+* The **PM actor** is an encoder–decoder: the selected VM's embedding is the
+  encoder input, every PM embedding goes through the decoder's cross-attention,
+  and the VM→PM attention score from the extractor's stage 3 is added to the
+  logits so the two actors coordinate (Fig. 7, §3.3 "Architecture Overview").
+* The **value head** pools the PM and VM embeddings into a scalar state value
+  for PPO's critic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import MLP, CrossAttentionLayer, Linear, Module, Tensor, concatenate
+from .attention import ExtractorOutput
+from .config import ModelConfig
+
+
+class VMActor(Module):
+    """Project VM embeddings into stage-1 selection logits."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.projection = Linear(config.embed_dim, 1, rng=rng, gain=0.01)
+
+    def forward(self, extractor_output: ExtractorOutput) -> Tensor:
+        """Return logits of shape ``(num_vms,)``."""
+        logits = self.projection(extractor_output.vm_embeddings)
+        return logits.reshape(extractor_output.vm_embeddings.shape[0])
+
+
+class PMActor(Module):
+    """Select a destination PM for the chosen VM (stage 2)."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        dim = config.embed_dim
+        self.vm_encoder = MLP(dim, [dim], dim, activation=config.activation, rng=rng)
+        self.decoder = CrossAttentionLayer(dim, config.num_heads, config.feedforward_dim,
+                                           config.activation, rng=rng)
+        self.projection = Linear(dim, 1, rng=rng, gain=0.01)
+        #: weight of the VM->PM attention-score bias added to the logits.
+        self.score_weight = self.register_parameter("score_weight", Tensor(np.array([1.0])))
+
+    def forward(
+        self,
+        extractor_output: ExtractorOutput,
+        vm_index: int,
+    ) -> Tensor:
+        """Return logits of shape ``(num_pms,)`` for the VM at ``vm_index``."""
+        num_vms = extractor_output.vm_embeddings.shape[0]
+        if not 0 <= vm_index < num_vms:
+            raise IndexError(f"vm_index {vm_index} out of range for {num_vms} VMs")
+        selected = self.vm_encoder(extractor_output.vm_embeddings[vm_index].reshape(1, -1))
+        # Decoder: PM embeddings attend to the selected VM embedding.
+        pm_decoded = self.decoder(extractor_output.pm_embeddings, selected)
+        logits = self.projection(pm_decoded).reshape(extractor_output.pm_embeddings.shape[0])
+        # Coordination bias: stage-3 attention scores of the selected VM.
+        scores = extractor_output.vm_pm_scores
+        if scores.size:
+            bias = Tensor(scores[vm_index])
+            logits = logits + bias * self.score_weight
+        return logits
+
+
+class ValueHead(Module):
+    """State-value estimate from pooled machine embeddings (PPO critic)."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        dim = config.embed_dim
+        self.network = MLP(2 * dim, [dim], 1, activation=config.activation, rng=rng, final_gain=1.0)
+
+    def forward(self, extractor_output: ExtractorOutput) -> Tensor:
+        pm_pool = extractor_output.pm_embeddings.mean(axis=0)
+        if extractor_output.vm_embeddings.shape[0] > 0:
+            vm_pool = extractor_output.vm_embeddings.mean(axis=0)
+        else:
+            vm_pool = Tensor(np.zeros(pm_pool.shape))
+        pooled = concatenate([pm_pool, vm_pool], axis=0).reshape(1, -1)
+        return self.network(pooled).reshape(1)

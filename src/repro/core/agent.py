@@ -1,0 +1,214 @@
+"""The high-level VMR2L agent: train, evaluate, plan, save and load.
+
+:class:`VMR2LAgent` implements the shared :class:`~repro.baselines.base.Rescheduler`
+interface, so benchmarks treat it exactly like every baseline: hand it a
+mapping snapshot and a migration limit, receive a plan and the inference time.
+Planning uses risk-seeking evaluation (§3.4) — several trajectories are
+sampled and the best is returned.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Rescheduler
+from ..cluster import ClusterState, ConstraintConfig, MigrationPlan
+from ..env.objectives import FragmentRateObjective, Objective
+from ..env.vmr_env import VMRescheduleEnv
+from ..nn import load_module, save_module
+from .config import VMR2LConfig
+from .policy import TwoStagePolicy
+from .ppo import PPOTrainer, TrainingLogEntry
+from .risk_seeking import risk_seeking_evaluate, rollout_trajectory
+
+
+class VMR2LAgent(Rescheduler):
+    """Two-stage deep-RL rescheduler (the paper's system)."""
+
+    name = "VMR2L"
+
+    def __init__(
+        self,
+        config: Optional[VMR2LConfig] = None,
+        objective: Optional[Objective] = None,
+        constraint_config: Optional[ConstraintConfig] = None,
+        seed: int = 0,
+        max_pms: Optional[int] = None,
+        max_vms: Optional[int] = None,
+    ) -> None:
+        self.config = config or VMR2LConfig()
+        self.objective = objective or FragmentRateObjective()
+        self.constraint_config = constraint_config or ConstraintConfig(
+            migration_limit=self.config.migration_limit
+        )
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.policy = TwoStagePolicy(
+            self.config.model,
+            rng=np.random.default_rng(seed),
+            max_pms=max_pms,
+            max_vms=max_vms,
+        )
+        self.training_history: List[TrainingLogEntry] = []
+        self._info: Dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_on_states(
+        self,
+        train_states: Sequence[ClusterState],
+        total_steps: int,
+        eval_states: Optional[Sequence[ClusterState]] = None,
+        eval_every: int = 1,
+        illegal_action_penalty: Optional[float] = None,
+    ) -> List[TrainingLogEntry]:
+        """Train PPO on episodes sampled uniformly from ``train_states``.
+
+        ``illegal_action_penalty`` activates the §5.4 Penalty ablation; leave
+        it ``None`` for the (default) masked two-stage and full-joint modes.
+        """
+        if not train_states:
+            raise ValueError("train_states must not be empty")
+        train_states = list(train_states)
+        sampler_rng = np.random.default_rng(self.seed + 1)
+
+        def sample_state() -> ClusterState:
+            return train_states[sampler_rng.integers(len(train_states))]
+
+        penalty = illegal_action_penalty
+        if penalty is None and self.config.model.action_mode == "penalty":
+            penalty = -5.0
+        env = VMRescheduleEnv(
+            state_sampler=sample_state,
+            constraint_config=self.constraint_config,
+            objective=self.objective,
+            illegal_action_penalty=penalty,
+        )
+        eval_callback = None
+        if eval_states:
+            eval_states = list(eval_states)
+
+            def eval_callback(policy: TwoStagePolicy) -> float:
+                return self.evaluate(eval_states, greedy=True)["mean_final_objective"]
+
+        trainer = PPOTrainer(self.policy, env, self.config.ppo, eval_callback=eval_callback)
+        history = trainer.train(total_steps, eval_every=eval_every)
+        self.training_history.extend(history)
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Planning (Rescheduler interface)
+    # ------------------------------------------------------------------ #
+    def _compute(self, state: ClusterState, migration_limit: int) -> MigrationPlan:
+        outcome = risk_seeking_evaluate(
+            self.policy,
+            state,
+            migration_limit,
+            config=self.config.risk_seeking,
+            objective=self.objective,
+            constraint_config=self.constraint_config,
+            seed=int(self.rng.integers(2 ** 31 - 1)),
+        )
+        self._info = {
+            "num_trajectories": outcome.num_trajectories,
+            "best_objective": outcome.best.final_objective,
+            "objective_spread": float(outcome.objectives().max() - outcome.objectives().min()),
+        }
+        return outcome.best.plan
+
+    def _last_info(self) -> Dict:
+        return dict(self._info)
+
+    def plan_single_trajectory(
+        self, state: ClusterState, migration_limit: int, greedy: bool = True, seed: int = 0
+    ) -> MigrationPlan:
+        """One-trajectory planning (no risk-seeking), used by ablations."""
+        trajectory = rollout_trajectory(
+            self.policy,
+            state,
+            migration_limit,
+            np.random.default_rng(seed),
+            objective=self.objective,
+            constraint_config=self.constraint_config,
+            greedy=greedy,
+        )
+        return trajectory.plan
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        states: Sequence[ClusterState],
+        migration_limit: Optional[int] = None,
+        greedy: bool = True,
+        seed: int = 0,
+    ) -> Dict[str, float]:
+        """Mean initial/final objective over ``states`` with single-trajectory rollouts."""
+        if not states:
+            raise ValueError("states must not be empty")
+        migration_limit = migration_limit or self.config.migration_limit
+        rng = np.random.default_rng(seed)
+        initial, final = [], []
+        for state in states:
+            trajectory = rollout_trajectory(
+                self.policy,
+                state,
+                migration_limit,
+                rng,
+                objective=self.objective,
+                constraint_config=self.constraint_config,
+                greedy=greedy,
+            )
+            initial.append(self.objective.episode_metric(state))
+            final.append(trajectory.final_objective)
+        return {
+            "mean_initial_objective": float(np.mean(initial)),
+            "mean_final_objective": float(np.mean(final)),
+            "mean_improvement": float(np.mean(initial) - np.mean(final)),
+            "num_states": len(states),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Save the policy parameters and configuration to ``path`` (.npz)."""
+        metadata = {"config": self.config.to_dict(), "seed": self.seed, "name": self.name}
+        return save_module(self.policy, path, metadata=metadata)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        objective: Optional[Objective] = None,
+        constraint_config: Optional[ConstraintConfig] = None,
+        max_pms: Optional[int] = None,
+        max_vms: Optional[int] = None,
+    ) -> "VMR2LAgent":
+        """Rebuild an agent from a checkpoint produced by :meth:`save`."""
+        # Read the metadata first to recover the configuration.
+        import json
+
+        checkpoint_path = Path(path)
+        if checkpoint_path.suffix != ".npz":
+            checkpoint_path = checkpoint_path.with_suffix(
+                checkpoint_path.suffix + ".npz" if checkpoint_path.suffix else ".npz"
+            )
+        with np.load(checkpoint_path, allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["__metadata__"]).decode("utf-8"))
+        config = VMR2LConfig.from_dict(metadata["config"])
+        agent = cls(
+            config=config,
+            objective=objective,
+            constraint_config=constraint_config,
+            seed=int(metadata.get("seed", 0)),
+            max_pms=max_pms,
+            max_vms=max_vms,
+        )
+        load_module(agent.policy, path)
+        return agent

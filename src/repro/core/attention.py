@@ -1,0 +1,187 @@
+"""Feature-extraction modules for VMR2L (§3.3) and its ablations (§5.3).
+
+Three extractors share the same interface — they map the per-machine feature
+matrices to per-machine embeddings plus a VM→PM attention score matrix:
+
+* :class:`SparseAttentionExtractor` — the paper's design.  Each block runs
+  (1) sparse local attention inside each PM tree, (2) self-attention among PMs
+  and among VMs, and (3) VM→PM cross-attention, each followed by a
+  position-wise feed-forward and layer norm.
+* :class:`VanillaAttentionExtractor` — the same architecture minus the
+  tree-local stage (the "Vanilla Attention" ablation of Fig. 10).
+* :class:`MLPExtractor` — concatenates every machine's features into one long
+  vector processed by an MLP ("w/o Attention" in Fig. 10); its parameter count
+  scales with the cluster size, which is why it fails to converge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..env.observation import PM_FEATURE_DIM, VM_FEATURE_DIM
+from ..nn import (
+    MLP,
+    CrossAttentionLayer,
+    LayerNorm,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoderLayer,
+    concatenate,
+)
+from .config import ModelConfig
+from .features import FeatureBatch
+
+
+class ExtractorOutput:
+    """Embeddings produced by a feature extractor for one observation."""
+
+    def __init__(self, vm_embeddings: Tensor, pm_embeddings: Tensor, vm_pm_scores: np.ndarray) -> None:
+        self.vm_embeddings = vm_embeddings
+        self.pm_embeddings = pm_embeddings
+        self.vm_pm_scores = vm_pm_scores
+
+
+class _AttentionBlock(Module):
+    """One VMR2L attention block (§3.3, Fig. 8)."""
+
+    def __init__(self, config: ModelConfig, use_tree_attention: bool, rng: np.random.Generator) -> None:
+        super().__init__()
+        dim, heads, hidden = config.embed_dim, config.num_heads, config.feedforward_dim
+        self.use_tree_attention = use_tree_attention
+        if use_tree_attention:
+            self.tree_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
+        self.pm_self_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
+        self.vm_self_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
+        self.cross_attention = CrossAttentionLayer(dim, heads, hidden, config.activation, rng=rng)
+
+    def forward(
+        self,
+        pm_embeddings: Tensor,
+        vm_embeddings: Tensor,
+        tree_mask: Optional[np.ndarray],
+    ) -> Tuple[Tensor, Tensor, np.ndarray]:
+        num_pms = pm_embeddings.shape[0]
+        # Stage 1: sparse local attention within each PM tree.
+        if self.use_tree_attention and tree_mask is not None and vm_embeddings.shape[0] > 0:
+            combined = concatenate([pm_embeddings, vm_embeddings], axis=0)
+            combined = self.tree_attention(combined, mask=tree_mask)
+            pm_embeddings = combined[:num_pms]
+            vm_embeddings = combined[num_pms:]
+        # Stage 2: PM and VM self-attention.
+        pm_embeddings = self.pm_self_attention(pm_embeddings)
+        if vm_embeddings.shape[0] > 0:
+            vm_embeddings = self.vm_self_attention(vm_embeddings)
+            # Stage 3: VM -> PM cross-attention.
+            vm_embeddings, scores = self.cross_attention(vm_embeddings, pm_embeddings, return_weights=True)
+        else:
+            scores = np.zeros((0, num_pms))
+        return pm_embeddings, vm_embeddings, scores
+
+
+class SparseAttentionExtractor(Module):
+    """The paper's tree-aware attention feature extractor."""
+
+    use_tree_attention = True
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        dim = config.embed_dim
+        self.pm_embed = MLP(PM_FEATURE_DIM, [dim], dim, activation=config.activation, rng=rng)
+        self.vm_embed = MLP(VM_FEATURE_DIM, [dim], dim, activation=config.activation, rng=rng)
+        self.blocks = []
+        for index in range(config.num_blocks):
+            block = _AttentionBlock(config, self.use_tree_attention, rng)
+            self.register_module(f"block{index}", block)
+            self.blocks.append(block)
+        self.final_norm_vm = LayerNorm(dim)
+        self.final_norm_pm = LayerNorm(dim)
+
+    def forward(self, batch: FeatureBatch) -> ExtractorOutput:
+        pm_embeddings = self.pm_embed(batch.pm_features)
+        vm_embeddings = self.vm_embed(batch.vm_features)
+        scores = np.zeros((batch.num_vms, batch.num_pms))
+        tree_mask = batch.tree_mask if self.use_tree_attention else None
+        for block in self.blocks:
+            pm_embeddings, vm_embeddings, scores = block(pm_embeddings, vm_embeddings, tree_mask)
+        return ExtractorOutput(
+            vm_embeddings=self.final_norm_vm(vm_embeddings) if batch.num_vms else vm_embeddings,
+            pm_embeddings=self.final_norm_pm(pm_embeddings),
+            vm_pm_scores=scores,
+        )
+
+
+class VanillaAttentionExtractor(SparseAttentionExtractor):
+    """Ablation: identical architecture without the tree-local attention stage."""
+
+    use_tree_attention = False
+
+
+class MLPExtractor(Module):
+    """Ablation: one big MLP over the concatenation of every machine's features.
+
+    The flattened input length is fixed at construction time from
+    ``max_pms`` / ``max_vms``; observations with fewer machines are zero-padded
+    and larger ones rejected.  The per-machine embeddings are produced by
+    reshaping the MLP output, so the trainable parameter count grows linearly
+    with the cluster size — the scaling problem the paper points out.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        max_pms: int,
+        max_vms: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if max_pms <= 0 or max_vms <= 0:
+            raise ValueError("max_pms and max_vms must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.max_pms = max_pms
+        self.max_vms = max_vms
+        dim = config.embed_dim
+        input_dim = max_pms * PM_FEATURE_DIM + max_vms * VM_FEATURE_DIM
+        output_dim = (max_pms + max_vms) * dim
+        self.network = MLP(input_dim, [config.feedforward_dim, config.feedforward_dim], output_dim,
+                           activation=config.activation, rng=rng)
+
+    def forward(self, batch: FeatureBatch) -> ExtractorOutput:
+        if batch.num_pms > self.max_pms or batch.num_vms > self.max_vms:
+            raise ValueError(
+                f"observation with {batch.num_pms} PMs / {batch.num_vms} VMs exceeds the "
+                f"MLP extractor capacity ({self.max_pms} PMs / {self.max_vms} VMs)"
+            )
+        pm_flat = np.zeros(self.max_pms * PM_FEATURE_DIM)
+        vm_flat = np.zeros(self.max_vms * VM_FEATURE_DIM)
+        pm_flat[: batch.num_pms * PM_FEATURE_DIM] = batch.pm_features.numpy().ravel()
+        vm_flat[: batch.num_vms * VM_FEATURE_DIM] = batch.vm_features.numpy().ravel()
+        flat_input = Tensor(np.concatenate([pm_flat, vm_flat])[None, :])
+        output = self.network(flat_input).reshape(self.max_pms + self.max_vms, self.config.embed_dim)
+        pm_embeddings = output[: batch.num_pms]
+        vm_embeddings = output[self.max_pms : self.max_pms + batch.num_vms]
+        scores = np.zeros((batch.num_vms, batch.num_pms))
+        return ExtractorOutput(vm_embeddings=vm_embeddings, pm_embeddings=pm_embeddings, vm_pm_scores=scores)
+
+
+def build_extractor(
+    config: ModelConfig,
+    rng: Optional[np.random.Generator] = None,
+    max_pms: Optional[int] = None,
+    max_vms: Optional[int] = None,
+) -> Module:
+    """Instantiate the extractor requested by ``config.extractor``."""
+    if config.extractor == "sparse":
+        return SparseAttentionExtractor(config, rng=rng)
+    if config.extractor == "vanilla":
+        return VanillaAttentionExtractor(config, rng=rng)
+    if config.extractor == "mlp":
+        if max_pms is None or max_vms is None:
+            raise ValueError("the MLP extractor requires max_pms and max_vms")
+        return MLPExtractor(config, max_pms=max_pms, max_vms=max_vms, rng=rng)
+    raise ValueError(f"unknown extractor {config.extractor!r}")

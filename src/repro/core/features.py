@@ -1,0 +1,94 @@
+"""Bridging layer between environment observations and the neural extractors.
+
+The feature extractors of §3.3 need three things derived from an
+:class:`~repro.env.observation.Observation`:
+
+* the raw PM / VM feature matrices as autograd tensors,
+* the *tree masks* implementing the sparse local attention (a PM and the VMs it
+  hosts form a depth-one tree; attention is only allowed inside a tree), and
+* the VM→PM cross-attention mask (every VM may attend to every PM).
+
+Masks are plain boolean numpy arrays — they carry no gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..env.observation import Observation
+from ..nn import Tensor
+
+
+@dataclass
+class FeatureBatch:
+    """Tensors and masks for a single observation (one decision step)."""
+
+    pm_features: Tensor
+    vm_features: Tensor
+    #: (num_vms + num_pms) x (num_vms + num_pms) mask for tree-local attention,
+    #: ordered [PMs..., VMs...].
+    tree_mask: np.ndarray
+    #: (num_vms, num_pms) membership matrix (VM i hosted on PM j).
+    membership: np.ndarray
+    vm_mask: np.ndarray
+    num_pms: int
+    num_vms: int
+
+    @property
+    def sequence_length(self) -> int:
+        return self.num_pms + self.num_vms
+
+
+def build_feature_batch(observation: Observation) -> FeatureBatch:
+    """Convert an observation into tensors plus attention masks."""
+    membership = observation.tree_membership()
+    tree_mask = build_tree_mask(membership)
+    return FeatureBatch(
+        pm_features=Tensor(observation.pm_features.copy()),
+        vm_features=Tensor(observation.vm_features.copy()),
+        tree_mask=tree_mask,
+        membership=membership,
+        vm_mask=observation.vm_mask.copy(),
+        num_pms=observation.num_pms,
+        num_vms=observation.num_vms,
+    )
+
+
+def build_tree_mask(membership: np.ndarray) -> np.ndarray:
+    """Sparse local-attention mask over the combined [PMs..., VMs...] sequence.
+
+    Entry ``(a, b)`` is True when token *a* may attend to token *b*.  Tokens
+    belong to the same tree when they are the same machine, a PM and a VM it
+    hosts, or two VMs hosted by the same PM.  Unplaced VMs only attend to
+    themselves.
+    """
+    num_vms, num_pms = membership.shape
+    size = num_pms + num_vms
+    mask = np.zeros((size, size), dtype=bool)
+    np.fill_diagonal(mask, True)
+    if num_vms == 0 or num_pms == 0:
+        return mask
+
+    # PM <-> hosted VM.
+    vm_rows = num_pms + np.arange(num_vms)
+    for vm_index in range(num_vms):
+        hosted_on = np.nonzero(membership[vm_index])[0]
+        for pm_index in hosted_on:
+            mask[vm_rows[vm_index], pm_index] = True
+            mask[pm_index, vm_rows[vm_index]] = True
+
+    # VM <-> sibling VM (same PM tree).
+    same_tree = membership @ membership.T  # (num_vms, num_vms) counts of shared PMs
+    sibling = same_tree > 0
+    mask[num_pms:, num_pms:] |= sibling
+    return mask
+
+
+def summarize_tree_sparsity(tree_mask: np.ndarray) -> Dict[str, float]:
+    """Fraction of allowed attention links — a diagnostic for the ablation."""
+    total = tree_mask.size
+    allowed = int(tree_mask.sum())
+    return {"allowed_links": allowed, "total_links": total, "sparsity": 1.0 - allowed / total}

@@ -1,0 +1,109 @@
+"""Lightweight adaptation of a trained VMR2L agent to new data (§7).
+
+The paper notes that when a deployed agent encounters a large distribution
+shift (new cluster, unusual workload), it supports off-the-shelf finetuning
+such as top-layer finetuning rather than retraining from scratch.  This module
+implements that: freeze the (expensive, relation-learning) feature extractor
+and continue PPO only on the actor/value heads, optionally with a reduced
+learning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import ClusterState
+from ..env.vmr_env import VMRescheduleEnv
+from .agent import VMR2LAgent
+from .ppo import PPOTrainer, TrainingLogEntry
+
+
+def head_parameter_names(agent: VMR2LAgent) -> List[str]:
+    """Names of the actor / value-head parameters (the 'top layers')."""
+    return [
+        name
+        for name, _ in agent.policy.named_parameters()
+        if not name.startswith("extractor.")
+    ]
+
+
+def freeze_extractor(agent: VMR2LAgent) -> List[str]:
+    """Mark extractor parameters as non-trainable; returns the frozen names.
+
+    Freezing is implemented by turning off ``requires_grad`` so the autograd
+    graph skips them and the optimizer (built afterwards) never sees them.
+    """
+    frozen = []
+    for name, parameter in agent.policy.named_parameters():
+        if name.startswith("extractor."):
+            parameter.requires_grad = False
+            frozen.append(name)
+    return frozen
+
+
+def unfreeze_all(agent: VMR2LAgent) -> None:
+    """Re-enable training for every parameter (undo :func:`freeze_extractor`)."""
+    for _, parameter in agent.policy.named_parameters():
+        parameter.requires_grad = True
+
+
+def finetune_top_layers(
+    agent: VMR2LAgent,
+    train_states: Sequence[ClusterState],
+    total_steps: int,
+    learning_rate_scale: float = 0.25,
+    seed: Optional[int] = None,
+) -> List[TrainingLogEntry]:
+    """Finetune only the actor/value heads of a trained agent on new snapshots.
+
+    Parameters
+    ----------
+    agent:
+        A (typically pre-trained) :class:`VMR2LAgent`; modified in place.
+    train_states:
+        Snapshots from the new distribution (e.g. a different workload level).
+    total_steps:
+        PPO environment steps to collect during finetuning.
+    learning_rate_scale:
+        Multiplier applied to the agent's configured learning rate; finetuning
+        normally uses a smaller step size than pre-training.
+    """
+    if not train_states:
+        raise ValueError("train_states must not be empty")
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    if learning_rate_scale <= 0:
+        raise ValueError("learning_rate_scale must be positive")
+
+    frozen = freeze_extractor(agent)
+    try:
+        train_states = [state.copy() for state in train_states]
+        sampler_rng = np.random.default_rng(seed if seed is not None else agent.seed + 101)
+
+        def sample_state() -> ClusterState:
+            return train_states[sampler_rng.integers(len(train_states))]
+
+        env = VMRescheduleEnv(
+            state_sampler=sample_state,
+            constraint_config=agent.constraint_config,
+            objective=agent.objective,
+        )
+        ppo_config = replace(
+            agent.config.ppo,
+            learning_rate=agent.config.ppo.learning_rate * learning_rate_scale,
+        )
+        trainer = PPOTrainer(agent.policy, env, ppo_config)
+        # Restrict the optimizer to the unfrozen (head) parameters.
+        trainable = [p for _, p in agent.policy.named_parameters() if p.requires_grad]
+        trainer.optimizer = type(trainer.optimizer)(trainable, lr=ppo_config.learning_rate)
+        history = trainer.train(total_steps)
+        agent.training_history.extend(history)
+        return history
+    finally:
+        unfreeze_all(agent)
+        # ``freeze_extractor`` flipped requires_grad on shared Tensor objects;
+        # make sure nothing stays frozen even if training raised.
+        assert all(p.requires_grad for _, p in agent.policy.named_parameters()), frozen

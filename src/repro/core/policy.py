@@ -1,0 +1,219 @@
+"""The two-stage VMR2L policy and its §5.4 ablation variants.
+
+The policy wraps a feature extractor (sparse / vanilla / MLP), the VM actor,
+the PM actor and the value head, and exposes the two methods PPO needs:
+
+* :meth:`TwoStagePolicy.act` — sample an action for the current observation,
+  returning indices, log-probability, entropy and value.  In ``two_stage``
+  mode the VM candidates are masked by feasibility and, once a VM is chosen,
+  every PM that cannot host it is masked out — illegal actions are impossible.
+  ``penalty`` mode samples without masks (the environment punishes illegal
+  actions), and ``full_joint`` mode samples from the joint VM×PM distribution
+  under a full legality mask.
+* :meth:`TwoStagePolicy.evaluate_actions` — recompute log-probability, entropy
+  and value of a stored action for the PPO update.
+
+Action thresholding for risk-seeking evaluation (§3.4) is supported directly
+in :meth:`act` via probability-quantile cutoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..env.observation import Observation
+from ..nn import Linear, Module, Tensor
+from ..nn import functional as F
+from .actors import PMActor, ValueHead, VMActor
+from .attention import ExtractorOutput, build_extractor
+from .config import ModelConfig
+from .features import FeatureBatch, build_feature_batch
+
+
+@dataclass
+class PolicyOutput:
+    """Everything produced by one action-selection call."""
+
+    vm_index: int
+    pm_index: int
+    log_prob: float
+    entropy: float
+    value: float
+    vm_probs: np.ndarray
+    pm_probs: np.ndarray
+
+    @property
+    def action(self) -> Tuple[int, int]:
+        return (self.vm_index, self.pm_index)
+
+
+def _apply_threshold(probs: np.ndarray, quantile: Optional[float]) -> np.ndarray:
+    """Zero out entries whose probability falls below the given quantile (§3.4)."""
+    if quantile is None:
+        return probs
+    positive = probs[probs > 0]
+    if positive.size <= 1:
+        return probs
+    cutoff = np.quantile(probs, quantile)
+    thresholded = np.where(probs >= cutoff, probs, 0.0)
+    if thresholded.sum() <= 0:
+        return probs
+    return thresholded / thresholded.sum()
+
+
+class TwoStagePolicy(Module):
+    """Feature extractor + VM actor + PM actor + value head."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        rng: Optional[np.random.Generator] = None,
+        max_pms: Optional[int] = None,
+        max_vms: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.extractor = build_extractor(config, rng=rng, max_pms=max_pms, max_vms=max_vms)
+        self.vm_actor = VMActor(config, rng=rng)
+        self.pm_actor = PMActor(config, rng=rng)
+        self.value_head = ValueHead(config, rng=rng)
+        if config.action_mode == "full_joint":
+            # Unconditioned PM head used to build the joint distribution.
+            self.joint_pm_head = Linear(config.embed_dim, 1, rng=rng, gain=0.01)
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def act(
+        self,
+        observation: Observation,
+        pm_mask_fn: Callable[[int], np.ndarray],
+        rng: np.random.Generator,
+        greedy: bool = False,
+        joint_mask: Optional[np.ndarray] = None,
+        vm_threshold_quantile: Optional[float] = None,
+        pm_threshold_quantile: Optional[float] = None,
+    ) -> PolicyOutput:
+        """Select a (VM, PM) action for ``observation``.
+
+        ``pm_mask_fn`` maps a chosen VM index to the stage-2 feasibility mask
+        (usually ``env.pm_action_mask``); it is only consulted in ``two_stage``
+        mode.  ``joint_mask`` is required in ``full_joint`` mode.
+        """
+        batch = build_feature_batch(observation)
+        extractor_output = self.extractor(batch)
+        value = float(self.value_head(extractor_output).item())
+
+        if self.config.action_mode == "full_joint":
+            return self._act_joint(extractor_output, batch, joint_mask, rng, greedy, value)
+
+        use_masks = self.config.action_mode == "two_stage"
+        vm_mask = batch.vm_mask if use_masks else None
+        vm_logits = self.vm_actor(extractor_output)
+        vm_probs = F.masked_softmax(vm_logits, vm_mask).numpy()
+        vm_probs = _apply_threshold(vm_probs, vm_threshold_quantile)
+        vm_index = F.sample_categorical(vm_probs, rng, greedy=greedy)
+
+        pm_mask = pm_mask_fn(vm_index) if use_masks else None
+        pm_logits = self.pm_actor(extractor_output, vm_index)
+        pm_probs = F.masked_softmax(pm_logits, pm_mask).numpy()
+        pm_probs = _apply_threshold(pm_probs, pm_threshold_quantile)
+        pm_index = F.sample_categorical(pm_probs, rng, greedy=greedy)
+
+        log_prob = float(np.log(vm_probs[vm_index] + 1e-12) + np.log(pm_probs[pm_index] + 1e-12))
+        entropy = float(
+            F.categorical_entropy(vm_logits.reshape(1, -1), None if vm_mask is None else vm_mask[None, :]).numpy()[0]
+            + F.categorical_entropy(pm_logits.reshape(1, -1), None if pm_mask is None else pm_mask[None, :]).numpy()[0]
+        )
+        return PolicyOutput(
+            vm_index=vm_index,
+            pm_index=pm_index,
+            log_prob=log_prob,
+            entropy=entropy,
+            value=value,
+            vm_probs=vm_probs,
+            pm_probs=pm_probs,
+        )
+
+    def _act_joint(
+        self,
+        extractor_output: ExtractorOutput,
+        batch: FeatureBatch,
+        joint_mask: Optional[np.ndarray],
+        rng: np.random.Generator,
+        greedy: bool,
+        value: float,
+    ) -> PolicyOutput:
+        if joint_mask is None:
+            raise ValueError("full_joint mode requires the joint legality mask")
+        vm_logits = self.vm_actor(extractor_output)
+        pm_logits = self.joint_pm_head(extractor_output.pm_embeddings).reshape(batch.num_pms)
+        joint_logits = vm_logits.reshape(-1, 1) + pm_logits.reshape(1, -1)
+        flat_logits = joint_logits.reshape(1, batch.num_vms * batch.num_pms)
+        flat_mask = joint_mask.reshape(1, -1)
+        probs = F.masked_softmax(flat_logits, flat_mask).numpy()[0]
+        flat_index = F.sample_categorical(probs, rng, greedy=greedy)
+        vm_index, pm_index = divmod(flat_index, batch.num_pms)
+        entropy = float(F.categorical_entropy(flat_logits, flat_mask).numpy()[0])
+        vm_probs = probs.reshape(batch.num_vms, batch.num_pms).sum(axis=1)
+        pm_probs = probs.reshape(batch.num_vms, batch.num_pms)[vm_index]
+        pm_probs = pm_probs / pm_probs.sum() if pm_probs.sum() > 0 else pm_probs
+        return PolicyOutput(
+            vm_index=int(vm_index),
+            pm_index=int(pm_index),
+            log_prob=float(np.log(probs[flat_index] + 1e-12)),
+            entropy=entropy,
+            value=value,
+            vm_probs=vm_probs,
+            pm_probs=pm_probs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation for PPO updates (differentiable path)
+    # ------------------------------------------------------------------ #
+    def evaluate_actions(
+        self,
+        observation: Observation,
+        vm_index: int,
+        pm_index: int,
+        vm_mask: Optional[np.ndarray],
+        pm_mask: Optional[np.ndarray],
+        joint_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Return differentiable (log_prob, entropy, value) of a stored action."""
+        batch = build_feature_batch(observation)
+        extractor_output = self.extractor(batch)
+        value = self.value_head(extractor_output)
+
+        if self.config.action_mode == "full_joint":
+            vm_logits = self.vm_actor(extractor_output)
+            pm_logits = self.joint_pm_head(extractor_output.pm_embeddings).reshape(batch.num_pms)
+            joint_logits = (vm_logits.reshape(-1, 1) + pm_logits.reshape(1, -1)).reshape(
+                1, batch.num_vms * batch.num_pms
+            )
+            flat_mask = joint_mask.reshape(1, -1) if joint_mask is not None else None
+            flat_action = np.array([vm_index * batch.num_pms + pm_index])
+            log_prob = F.categorical_log_prob(joint_logits, flat_action, flat_mask).reshape(1)
+            entropy = F.categorical_entropy(joint_logits, flat_mask).reshape(1)
+            return log_prob, entropy, value
+
+        vm_logits = self.vm_actor(extractor_output).reshape(1, -1)
+        pm_logits = self.pm_actor(extractor_output, vm_index).reshape(1, -1)
+        vm_mask_batch = None if vm_mask is None else np.asarray(vm_mask, dtype=bool)[None, :]
+        pm_mask_batch = None if pm_mask is None else np.asarray(pm_mask, dtype=bool)[None, :]
+        vm_log_prob = F.categorical_log_prob(vm_logits, np.array([vm_index]), vm_mask_batch)
+        pm_log_prob = F.categorical_log_prob(pm_logits, np.array([pm_index]), pm_mask_batch)
+        log_prob = (vm_log_prob + pm_log_prob).reshape(1)
+        entropy = (
+            F.categorical_entropy(vm_logits, vm_mask_batch) + F.categorical_entropy(pm_logits, pm_mask_batch)
+        ).reshape(1)
+        return log_prob, entropy, value
+
+    def value_of(self, observation: Observation) -> float:
+        """State value only (used for bootstrapping at rollout boundaries)."""
+        batch = build_feature_batch(observation)
+        return float(self.value_head(self.extractor(batch)).item())

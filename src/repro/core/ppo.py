@@ -1,0 +1,221 @@
+"""PPO training loop for the two-stage VMR2L policy (§4, CleanRL-style).
+
+The trainer alternates between collecting on-policy rollouts from the
+rescheduling environment and running clipped-surrogate updates.  The
+environment is deterministic, so all stochasticity comes from the policy's
+action sampling — exactly the setting the paper exploits for data efficiency
+(§7 "Efficient Training in Deterministic Environments").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..env.vmr_env import VMRescheduleEnv
+from ..nn import Adam, LinearSchedule, Tensor
+from ..nn import functional as F
+from .config import PPOConfig
+from .policy import TwoStagePolicy
+from .rollout import RolloutBuffer, Transition
+
+
+@dataclass
+class TrainingLogEntry:
+    """Metrics recorded after each PPO update."""
+
+    update: int
+    global_step: int
+    mean_reward: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    approx_kl: float
+    learning_rate: float
+    eval_metric: Optional[float] = None
+    wall_clock_s: float = 0.0
+
+
+class PPOTrainer:
+    """Collect rollouts and optimize the policy with PPO."""
+
+    def __init__(
+        self,
+        policy: TwoStagePolicy,
+        env: VMRescheduleEnv,
+        config: Optional[PPOConfig] = None,
+        eval_callback: Optional[Callable[[TwoStagePolicy], float]] = None,
+    ) -> None:
+        self.policy = policy
+        self.env = env
+        self.config = config or PPOConfig()
+        self.eval_callback = eval_callback
+        self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.global_step = 0
+        self.history: List[TrainingLogEntry] = []
+        self._observation = None
+        self._needs_reset = True
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection
+    # ------------------------------------------------------------------ #
+    def collect_rollout(self) -> RolloutBuffer:
+        """Collect ``rollout_steps`` transitions, resetting episodes as needed."""
+        buffer = RolloutBuffer(self.config.rollout_steps)
+        if self._needs_reset or self._observation is None:
+            self._observation = self.env.reset()
+            self._needs_reset = False
+
+        while not buffer.full:
+            observation = self._observation
+            joint_mask = None
+            if self.policy.config.action_mode == "full_joint":
+                joint_mask = self.env.joint_action_mask()
+            output = self.policy.act(
+                observation,
+                pm_mask_fn=self.env.pm_action_mask,
+                rng=self.rng,
+                joint_mask=joint_mask,
+            )
+            vm_mask = observation.vm_mask if self.policy.config.action_mode == "two_stage" else None
+            pm_mask = (
+                self.env.pm_action_mask(output.vm_index)
+                if self.policy.config.action_mode == "two_stage"
+                else None
+            )
+            next_observation, reward, done, info = self.env.step(output.action)
+            self.global_step += 1
+            buffer.add(
+                Transition(
+                    observation=observation,
+                    vm_index=output.vm_index,
+                    pm_index=output.pm_index,
+                    log_prob=output.log_prob,
+                    value=output.value,
+                    reward=reward,
+                    done=done,
+                    vm_mask=None if vm_mask is None else vm_mask.copy(),
+                    pm_mask=None if pm_mask is None else pm_mask.copy(),
+                    joint_mask=None if joint_mask is None else joint_mask.copy(),
+                )
+            )
+            if done:
+                self._observation = self.env.reset()
+            else:
+                self._observation = next_observation
+
+        last_value = 0.0
+        if not buffer.transitions[-1].done:
+            last_value = self.policy.value_of(self._observation)
+        buffer.compute_advantages(
+            last_value,
+            gamma=self.config.gamma,
+            gae_lambda=self.config.gae_lambda,
+            normalize=self.config.normalize_advantages,
+        )
+        return buffer
+
+    # ------------------------------------------------------------------ #
+    # Optimization
+    # ------------------------------------------------------------------ #
+    def update(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        """Run the clipped-PPO update over the collected rollout."""
+        config = self.config
+        policy_losses, value_losses, entropies, kls = [], [], [], []
+        stop = False
+        for _ in range(config.update_epochs):
+            if stop:
+                break
+            for indices in buffer.minibatch_indices(config.minibatch_size, self.rng):
+                losses = []
+                batch_kl = []
+                self.optimizer.zero_grad()
+                for index in indices:
+                    transition = buffer.transitions[index]
+                    log_prob, entropy, value = self.policy.evaluate_actions(
+                        transition.observation,
+                        transition.vm_index,
+                        transition.pm_index,
+                        transition.vm_mask,
+                        transition.pm_mask,
+                        transition.joint_mask,
+                    )
+                    old_log_prob = Tensor(np.array([transition.log_prob]))
+                    ratio = (log_prob - old_log_prob).exp()
+                    advantage = float(transition.advantage)
+                    surrogate1 = ratio * advantage
+                    surrogate2 = ratio.clip(1.0 - config.clip_coef, 1.0 + config.clip_coef) * advantage
+                    policy_loss = -F.where(
+                        surrogate1.numpy() <= surrogate2.numpy(), surrogate1, surrogate2
+                    ).sum()
+                    target = Tensor(np.array([transition.return_]))
+                    value_loss = ((value - target) ** 2).sum()
+                    loss = (
+                        policy_loss
+                        + config.value_coef * value_loss
+                        - config.entropy_coef * entropy.sum()
+                    )
+                    losses.append(loss)
+                    policy_losses.append(float(policy_loss.item()))
+                    value_losses.append(float(value_loss.item()))
+                    entropies.append(float(entropy.numpy().sum()))
+                    approx_kl = float(transition.log_prob - log_prob.item())
+                    batch_kl.append(approx_kl)
+                    kls.append(approx_kl)
+                if not losses:
+                    continue
+                total = losses[0]
+                for extra in losses[1:]:
+                    total = total + extra
+                total = total / float(len(losses))
+                total.backward()
+                self.optimizer.clip_gradients(config.max_grad_norm)
+                self.optimizer.step()
+                if config.target_kl is not None and np.mean(np.abs(batch_kl)) > config.target_kl:
+                    stop = True
+                    break
+        return {
+            "policy_loss": float(np.mean(policy_losses)) if policy_losses else 0.0,
+            "value_loss": float(np.mean(value_losses)) if value_losses else 0.0,
+            "entropy": float(np.mean(entropies)) if entropies else 0.0,
+            "approx_kl": float(np.mean(np.abs(kls))) if kls else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Full training loop
+    # ------------------------------------------------------------------ #
+    def train(self, total_steps: int, eval_every: int = 1) -> List[TrainingLogEntry]:
+        """Train until ``total_steps`` environment steps have been collected."""
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        num_updates = max(total_steps // self.config.rollout_steps, 1)
+        schedule = LinearSchedule(self.config.learning_rate, self.config.learning_rate * 0.05, num_updates)
+        start = time.perf_counter()
+        for update_index in range(1, num_updates + 1):
+            if self.config.anneal_lr:
+                learning_rate = schedule.apply(self.optimizer, update_index - 1)
+            else:
+                learning_rate = self.config.learning_rate
+            buffer = self.collect_rollout()
+            stats = self.update(buffer)
+            eval_metric = None
+            if self.eval_callback is not None and update_index % eval_every == 0:
+                eval_metric = float(self.eval_callback(self.policy))
+            entry = TrainingLogEntry(
+                update=update_index,
+                global_step=self.global_step,
+                mean_reward=buffer.mean_reward(),
+                policy_loss=stats["policy_loss"],
+                value_loss=stats["value_loss"],
+                entropy=stats["entropy"],
+                approx_kl=stats["approx_kl"],
+                learning_rate=learning_rate,
+                eval_metric=eval_metric,
+                wall_clock_s=time.perf_counter() - start,
+            )
+            self.history.append(entry)
+        return self.history

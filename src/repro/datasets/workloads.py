@@ -1,0 +1,138 @@
+"""Workload levels and the Fig. 1 / Fig. 15 workload characterizations.
+
+The paper defines "workload" as the percentage of CPU used on PMs and studies
+three strictly non-overlapping levels (Fig. 15): Low, Middle and High, where
+the main Medium dataset corresponds to the High workload.  Table 5 and Fig. 19
+evaluate generalization across these levels.
+
+This module maps workload levels to generator specs, produces the CPU-usage
+CDF of Fig. 15 and the daily arrival/exit series of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import ClusterState, sample_daily_changes
+from .generator import ClusterSpec, SnapshotGenerator, get_spec
+
+#: Target PM CPU-utilization bands for the three workload levels of Fig. 15.
+#: The bands are strictly non-overlapping, matching the paper's statement that
+#: no training sample of one level has a workload similar to another level.
+WORKLOAD_BANDS: Dict[str, tuple] = {
+    "low": (0.30, 0.45),
+    "middle": (0.50, 0.65),
+    "high": (0.70, 0.90),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadLevel:
+    """A named workload level with its utilization band."""
+
+    name: str
+    min_utilization: float
+    max_utilization: float
+
+    @property
+    def center(self) -> float:
+        return 0.5 * (self.min_utilization + self.max_utilization)
+
+    def contains(self, utilization: float) -> bool:
+        return self.min_utilization <= utilization <= self.max_utilization
+
+
+def get_workload_level(name: str) -> WorkloadLevel:
+    key = name.lower()
+    aliases = {"l": "low", "m": "middle", "medium": "middle", "mid": "middle", "h": "high"}
+    key = aliases.get(key, key)
+    if key not in WORKLOAD_BANDS:
+        raise KeyError(f"unknown workload level {name!r}; known: {sorted(WORKLOAD_BANDS)}")
+    low, high = WORKLOAD_BANDS[key]
+    return WorkloadLevel(name=key, min_utilization=low, max_utilization=high)
+
+
+def spec_for_workload(
+    level: str, base: str = "small", **overrides
+) -> ClusterSpec:
+    """Return a cluster spec whose target utilization sits in the level's band."""
+    workload = get_workload_level(level)
+    spec = get_spec(base, **overrides)
+    return replace(
+        spec,
+        name=f"{spec.name}-{workload.name}",
+        target_utilization=workload.center,
+        utilization_jitter=(workload.max_utilization - workload.min_utilization) / 6.0,
+    )
+
+
+def generate_workload_snapshots(
+    level: str,
+    count: int,
+    base: str = "small",
+    seed: int = 0,
+    **overrides,
+) -> List[ClusterState]:
+    """Generate ``count`` snapshots at the requested workload level."""
+    spec = spec_for_workload(level, base=base, **overrides)
+    generator = SnapshotGenerator(spec, seed=seed)
+    return generator.generate_many(count)
+
+
+def cpu_usage_samples(states: Sequence[ClusterState]) -> np.ndarray:
+    """Per-PM CPU usage across snapshots (the samples behind Fig. 15's CDF)."""
+    usages: List[float] = []
+    for state in states:
+        for pm in state.pms.values():
+            usages.append(pm.cpu_utilization)
+    return np.asarray(usages, dtype=float)
+
+
+def cpu_usage_cdf(states: Sequence[ClusterState], grid: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
+    """Empirical CDF of per-PM CPU usage (Fig. 15)."""
+    samples = cpu_usage_samples(states)
+    if grid is None:
+        grid = np.linspace(0.0, 1.0, 101)
+    if samples.size == 0:
+        return {"cpu_usage": grid, "cdf": np.zeros_like(grid)}
+    sorted_samples = np.sort(samples)
+    cdf = np.searchsorted(sorted_samples, grid, side="right") / sorted_samples.size
+    return {"cpu_usage": grid, "cdf": cdf}
+
+
+def daily_arrival_exit_series(
+    seed: int = 0,
+    days: int = 30,
+    peak_per_minute: float = 80.0,
+    trough_per_minute: float = 6.0,
+) -> Dict[str, np.ndarray]:
+    """Average VM arrivals/exits per minute over ``days`` days (Fig. 1).
+
+    Returns the per-minute mean arrival, exit and total-change counts along
+    with the minute index, mirroring the series plotted by the paper.
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    rng = np.random.default_rng(seed)
+    arrival_stack = []
+    exit_stack = []
+    for _ in range(days):
+        day = sample_daily_changes(rng, peak_per_minute, trough_per_minute)
+        arrival_stack.append(day["arrivals"])
+        exit_stack.append(day["exits"])
+    arrivals = np.mean(arrival_stack, axis=0)
+    exits = np.mean(exit_stack, axis=0)
+    return {
+        "minute": np.arange(arrivals.size),
+        "arrivals": arrivals,
+        "exits": exits,
+        "total": arrivals + exits,
+    }
+
+
+def offpeak_minute(series: Dict[str, np.ndarray]) -> int:
+    """The minute of the day with the fewest VM changes (when VMR runs)."""
+    return int(np.argmin(series["total"]))

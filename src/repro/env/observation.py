@@ -1,0 +1,178 @@
+"""State featurization for the RL agent.
+
+Section 3.1 of the paper defines the observation as two feature sets:
+
+* **PM features** — four features per NUMA node of every PM: remaining CPU,
+  remaining memory, the PM's current fragment rate and its fragment size.
+  With two NUMAs that is 8 numbers per PM.
+* **VM features** — 14 features per VM: requested CPU and memory for each NUMA
+  (zeros pad the unused NUMA of single-NUMA VMs), the fragment size the VM
+  leaves on each NUMA granularity, concatenated with its source PM's features.
+
+Every feature dimension is min-max normalized.  The observation also carries
+the relational information the sparse-attention extractor needs (which VMs sit
+on which PM — the "PM tree" of §3.3) and the feasibility masks used by the
+two-stage policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster import BOTH_NUMAS, ClusterState, ConstraintChecker
+
+PM_FEATURES_PER_NUMA = 4
+PM_FEATURE_DIM = 2 * PM_FEATURES_PER_NUMA  # 8
+VM_OWN_FEATURE_DIM = 6  # cpu/numa0, cpu/numa1, mem/numa0, mem/numa1, frag0, frag1
+VM_FEATURE_DIM = VM_OWN_FEATURE_DIM + PM_FEATURE_DIM  # 14, as in the paper
+
+
+@dataclass
+class Observation:
+    """A featurized cluster state handed to the agent.
+
+    Attributes
+    ----------
+    pm_features:
+        ``(num_pms, 8)`` array of normalized PM features.
+    vm_features:
+        ``(num_vms, 14)`` array of normalized VM features.
+    vm_source_pm:
+        ``(num_vms,)`` index of each VM's source PM (``-1`` if unplaced).
+    vm_mask:
+        ``(num_vms,)`` boolean — True where the VM is a legal stage-1 candidate.
+    pm_mask_fn:
+        Callable producing the stage-2 PM mask for a chosen VM index.
+    vm_ids / pm_ids:
+        Index → id lookup tables (row *i* of the feature arrays corresponds to
+        ``vm_ids[i]`` / ``pm_ids[i]``).
+    """
+
+    pm_features: np.ndarray
+    vm_features: np.ndarray
+    vm_source_pm: np.ndarray
+    vm_mask: np.ndarray
+    vm_ids: List[int]
+    pm_ids: List[int]
+    migrations_left: int
+    extras: Dict = field(default_factory=dict)
+
+    @property
+    def num_pms(self) -> int:
+        return self.pm_features.shape[0]
+
+    @property
+    def num_vms(self) -> int:
+        return self.vm_features.shape[0]
+
+    def tree_membership(self) -> np.ndarray:
+        """Boolean ``(num_vms, num_pms)`` matrix: VM i hosted on PM j."""
+        membership = np.zeros((self.num_vms, self.num_pms), dtype=bool)
+        placed = self.vm_source_pm >= 0
+        membership[np.arange(self.num_vms)[placed], self.vm_source_pm[placed]] = True
+        return membership
+
+
+class ObservationBuilder:
+    """Build :class:`Observation` objects from cluster states."""
+
+    def __init__(
+        self,
+        checker: Optional[ConstraintChecker] = None,
+        fragment_cores: int = 16,
+    ) -> None:
+        self.checker = checker or ConstraintChecker()
+        self.fragment_cores = fragment_cores
+
+    # ------------------------------------------------------------------ #
+    def build(self, state: ClusterState, migrations_left: int) -> Observation:
+        pm_ids = sorted(state.pms)
+        vm_ids = sorted(state.vms)
+        pm_index = {pm_id: index for index, pm_id in enumerate(pm_ids)}
+
+        pm_features = self._pm_features(state, pm_ids)
+        vm_features, vm_source_pm = self._vm_features(state, vm_ids, pm_index, pm_features)
+        vm_mask = self.checker.movable_vm_mask(state, vm_ids)
+
+        pm_features = _min_max_normalize(pm_features)
+        vm_features = _min_max_normalize(vm_features)
+
+        return Observation(
+            pm_features=pm_features,
+            vm_features=vm_features,
+            vm_source_pm=vm_source_pm,
+            vm_mask=vm_mask,
+            vm_ids=list(vm_ids),
+            pm_ids=list(pm_ids),
+            migrations_left=migrations_left,
+        )
+
+    def pm_mask(self, state: ClusterState, vm_id: int, pm_ids: Optional[List[int]] = None) -> np.ndarray:
+        """Stage-2 feasibility mask over PMs for the selected VM."""
+        pm_ids = pm_ids if pm_ids is not None else sorted(state.pms)
+        return self.checker.destination_mask(state, vm_id, pm_ids)
+
+    # ------------------------------------------------------------------ #
+    def _pm_features(self, state: ClusterState, pm_ids: List[int]) -> np.ndarray:
+        features = np.zeros((len(pm_ids), PM_FEATURE_DIM), dtype=float)
+        x = self.fragment_cores
+        for row, pm_id in enumerate(pm_ids):
+            pm = state.pms[pm_id]
+            pm_free = pm.free_cpu
+            pm_frag = sum(numa.free_cpu % x for numa in pm.numas)
+            pm_fr = pm_frag / pm_free if pm_free > 0 else 0.0
+            for numa in pm.numas:
+                offset = numa.numa_id * PM_FEATURES_PER_NUMA
+                features[row, offset + 0] = numa.free_cpu
+                features[row, offset + 1] = numa.free_memory
+                features[row, offset + 2] = pm_fr
+                features[row, offset + 3] = numa.free_cpu % x
+        return features
+
+    def _vm_features(
+        self,
+        state: ClusterState,
+        vm_ids: List[int],
+        pm_index: Dict[int, int],
+        raw_pm_features: np.ndarray,
+    ) -> tuple:
+        features = np.zeros((len(vm_ids), VM_FEATURE_DIM), dtype=float)
+        source_pm = np.full(len(vm_ids), -1, dtype=int)
+        x = self.fragment_cores
+        for row, vm_id in enumerate(vm_ids):
+            vm = state.vms[vm_id]
+            if vm.numa_count == 2:
+                cpu_per_numa = (vm.cpu_per_numa, vm.cpu_per_numa)
+                mem_per_numa = (vm.memory_per_numa, vm.memory_per_numa)
+            else:
+                numa_slot = vm.numa_id if vm.is_placed and vm.numa_id in (0, 1) else 0
+                cpu_per_numa = [0.0, 0.0]
+                mem_per_numa = [0.0, 0.0]
+                cpu_per_numa[numa_slot] = vm.cpu
+                mem_per_numa[numa_slot] = vm.memory
+            features[row, 0] = cpu_per_numa[0]
+            features[row, 1] = cpu_per_numa[1]
+            features[row, 2] = mem_per_numa[0]
+            features[row, 3] = mem_per_numa[1]
+            # Fragment the VM's own request leaves at the X-core granularity.
+            features[row, 4] = cpu_per_numa[0] % x
+            features[row, 5] = cpu_per_numa[1] % x
+            if vm.is_placed:
+                pm_row = pm_index[vm.pm_id]
+                source_pm[row] = pm_row
+                features[row, VM_OWN_FEATURE_DIM:] = raw_pm_features[pm_row]
+        return features, source_pm
+
+
+def _min_max_normalize(features: np.ndarray) -> np.ndarray:
+    """Min-max normalize each feature column to [0, 1] (constant columns → 0)."""
+    if features.size == 0:
+        return features
+    mins = features.min(axis=0, keepdims=True)
+    maxs = features.max(axis=0, keepdims=True)
+    span = maxs - mins
+    span[span == 0.0] = 1.0
+    return (features - mins) / span

@@ -1,0 +1,134 @@
+"""Minimal action/observation spaces (Gym-interface substitute).
+
+The paper implements its simulator "following the OpenAI Gym environments"
+(§3.1).  Gym is not available offline, so this module provides the small
+subset of the space API the simulator and agents rely on: ``Discrete``,
+``Box``, ``MultiDiscrete`` and ``Tuple`` spaces with ``sample`` and
+``contains``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple as TypingTuple
+
+import numpy as np
+
+
+class Space:
+    """Base class for all spaces."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def seed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self):
+        raise NotImplementedError
+
+    def contains(self, x) -> bool:
+        raise NotImplementedError
+
+    def __contains__(self, x) -> bool:
+        return self.contains(x)
+
+
+class Discrete(Space):
+    """Integers ``{0, 1, ..., n-1}``."""
+
+    def __init__(self, n: int, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        if n <= 0:
+            raise ValueError("Discrete space requires n > 0")
+        self.n = int(n)
+
+    def sample(self) -> int:
+        return int(self._rng.integers(self.n))
+
+    def contains(self, x) -> bool:
+        try:
+            value = int(x)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= value < self.n
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+
+class MultiDiscrete(Space):
+    """A vector of independent Discrete spaces."""
+
+    def __init__(self, nvec: Sequence[int], seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.nvec = np.asarray(nvec, dtype=int)
+        if (self.nvec <= 0).any():
+            raise ValueError("all MultiDiscrete sizes must be positive")
+
+    def sample(self) -> np.ndarray:
+        return (self._rng.random(self.nvec.shape) * self.nvec).astype(int)
+
+    def contains(self, x) -> bool:
+        x = np.asarray(x)
+        return x.shape == self.nvec.shape and bool(((x >= 0) & (x < self.nvec)).all())
+
+    def __repr__(self) -> str:
+        return f"MultiDiscrete({self.nvec.tolist()})"
+
+
+class Box(Space):
+    """Bounded continuous space with a fixed shape."""
+
+    def __init__(
+        self,
+        low: float | np.ndarray,
+        high: float | np.ndarray,
+        shape: Optional[TypingTuple[int, ...]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if shape is None:
+            low_arr = np.asarray(low, dtype=float)
+            shape = low_arr.shape
+        self.shape = tuple(shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=float), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=float), self.shape).copy()
+        if (self.low > self.high).any():
+            raise ValueError("Box lower bounds must not exceed upper bounds")
+
+    def sample(self) -> np.ndarray:
+        return self._rng.uniform(self.low, self.high)
+
+    def contains(self, x) -> bool:
+        x = np.asarray(x, dtype=float)
+        return x.shape == self.shape and bool((x >= self.low - 1e-9).all() and (x <= self.high + 1e-9).all())
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape})"
+
+
+class Tuple(Space):
+    """A product of spaces (used for the two-stage (VM, PM) action)."""
+
+    def __init__(self, spaces: Iterable[Space], seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.spaces = tuple(spaces)
+        if not self.spaces:
+            raise ValueError("Tuple space requires at least one subspace")
+
+    def sample(self) -> tuple:
+        return tuple(space.sample() for space in self.spaces)
+
+    def contains(self, x) -> bool:
+        if not isinstance(x, (tuple, list)) or len(x) != len(self.spaces):
+            return False
+        return all(space.contains(item) for space, item in zip(self.spaces, x))
+
+    def __len__(self) -> int:
+        return len(self.spaces)
+
+    def __getitem__(self, index: int) -> Space:
+        return self.spaces[index]
+
+    def __repr__(self) -> str:
+        return f"Tuple({', '.join(repr(s) for s in self.spaces)})"

@@ -1,0 +1,68 @@
+"""A simple synchronous vectorized environment.
+
+PPO collects rollouts from several environments in parallel; this class runs N
+:class:`~repro.env.vmr_env.VMRescheduleEnv` instances sequentially in one
+process (sufficient for CPU-bound simulation) while presenting the batched
+interface the trainer expects.  Environments auto-reset when their episode
+finishes, and the terminal observation is replaced by the first observation of
+the next episode (CleanRL convention).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class SyncVectorEnv:
+    """Run several environments in lock-step."""
+
+    def __init__(self, env_fns: Sequence[Callable[[], object]]) -> None:
+        if not env_fns:
+            raise ValueError("need at least one environment factory")
+        self.envs = [fn() for fn in env_fns]
+        self.num_envs = len(self.envs)
+
+    def reset(self) -> List:
+        """Reset every environment, returning the list of observations."""
+        return [env.reset() for env in self.envs]
+
+    def step(self, actions: Sequence) -> Tuple[List, np.ndarray, np.ndarray, List]:
+        """Step every environment with its own action.
+
+        Returns ``(observations, rewards, dones, infos)``; environments that
+        finished are reset automatically and report the new episode's first
+        observation.
+        """
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        observations = []
+        rewards = np.zeros(self.num_envs, dtype=float)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos = []
+        for index, (env, action) in enumerate(zip(self.envs, actions)):
+            observation, reward, done, info = env.step(action)
+            if done:
+                info = dict(info)
+                info["terminal_observation"] = observation
+                observation = env.reset()
+            observations.append(observation)
+            rewards[index] = reward
+            dones[index] = done
+            infos.append(info)
+        return observations, rewards, dones, infos
+
+    def call(self, method_name: str, *args, **kwargs) -> List:
+        """Call a method on every wrapped environment and collect the results."""
+        results = []
+        for env in self.envs:
+            method = getattr(env, method_name)
+            results.append(method(*args, **kwargs))
+        return results
+
+    def close(self) -> None:
+        for env in self.envs:
+            close = getattr(env, "close", None)
+            if callable(close):
+                close()

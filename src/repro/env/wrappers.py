@@ -1,0 +1,134 @@
+"""Environment wrappers: episode statistics, reward scaling and time limits.
+
+These mirror the thin wrapper layer CleanRL-style training loops expect around
+a Gym environment.  Wrappers delegate attribute access to the wrapped
+environment so agents can keep calling mask helpers on the wrapped object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+class EnvWrapper:
+    """Base wrapper delegating everything to the inner environment."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def reset(self, *args, **kwargs):
+        return self.env.reset(*args, **kwargs)
+
+    def step(self, action):
+        return self.env.step(action)
+
+    def __getattr__(self, name):
+        return getattr(self.env, name)
+
+    @property
+    def unwrapped(self):
+        inner = self.env
+        while isinstance(inner, EnvWrapper):
+            inner = inner.env
+        return inner
+
+
+@dataclass
+class EpisodeStats:
+    """Summary of one finished episode."""
+
+    total_reward: float
+    length: int
+    initial_metric: float
+    final_metric: float
+
+    @property
+    def metric_improvement(self) -> float:
+        return self.initial_metric - self.final_metric
+
+
+class RecordEpisodeStatistics(EnvWrapper):
+    """Track per-episode return, length and objective improvement."""
+
+    def __init__(self, env, history_size: int = 100) -> None:
+        super().__init__(env)
+        if history_size <= 0:
+            raise ValueError("history_size must be positive")
+        self.history_size = history_size
+        self.episode_history: List[EpisodeStats] = []
+        self._running_reward = 0.0
+        self._running_length = 0
+
+    def reset(self, *args, **kwargs):
+        self._running_reward = 0.0
+        self._running_length = 0
+        return self.env.reset(*args, **kwargs)
+
+    def step(self, action):
+        observation, reward, done, info = self.env.step(action)
+        self._running_reward += reward
+        self._running_length += 1
+        if done:
+            stats = EpisodeStats(
+                total_reward=self._running_reward,
+                length=self._running_length,
+                initial_metric=info.get("initial_objective", float("nan")),
+                final_metric=info.get("objective", float("nan")),
+            )
+            self.episode_history.append(stats)
+            if len(self.episode_history) > self.history_size:
+                self.episode_history.pop(0)
+            info = dict(info)
+            info["episode"] = stats
+        return observation, reward, done, info
+
+    def mean_return(self) -> float:
+        if not self.episode_history:
+            return 0.0
+        return float(np.mean([stats.total_reward for stats in self.episode_history]))
+
+    def mean_final_metric(self) -> float:
+        if not self.episode_history:
+            return float("nan")
+        return float(np.mean([stats.final_metric for stats in self.episode_history]))
+
+
+class RewardScaling(EnvWrapper):
+    """Multiply rewards by a constant factor."""
+
+    def __init__(self, env, scale: float) -> None:
+        super().__init__(env)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def step(self, action):
+        observation, reward, done, info = self.env.step(action)
+        return observation, reward * self.scale, done, info
+
+
+class TimeLimit(EnvWrapper):
+    """Force termination after ``max_steps`` regardless of the inner MNL."""
+
+    def __init__(self, env, max_steps: int) -> None:
+        super().__init__(env)
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.max_steps = max_steps
+        self._elapsed = 0
+
+    def reset(self, *args, **kwargs):
+        self._elapsed = 0
+        return self.env.reset(*args, **kwargs)
+
+    def step(self, action):
+        observation, reward, done, info = self.env.step(action)
+        self._elapsed += 1
+        if self._elapsed >= self.max_steps:
+            done = True
+            info = dict(info)
+            info["truncated"] = True
+        return observation, reward, done, info

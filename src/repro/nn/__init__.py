@@ -1,0 +1,61 @@
+"""Neural-network substrate: numpy autograd, layers, attention and optimizers.
+
+This subpackage replaces PyTorch for the purposes of this reproduction (see
+DESIGN.md).  The public surface mirrors a minimal ``torch.nn``:
+
+* :class:`~repro.nn.tensor.Tensor` — autograd-enabled numpy wrapper
+* :class:`~repro.nn.module.Module` — parameter container base class
+* layers — :class:`Linear`, :class:`LayerNorm`, :class:`MLP`, :class:`Embedding`,
+  :class:`Sequential`, :class:`Dropout`, :class:`Activation`
+* attention — :class:`MultiHeadAttention`, :class:`TransformerEncoderLayer`,
+  :class:`CrossAttentionLayer`, :class:`FeedForward`
+* optimizers — :class:`Adam`, :class:`SGD`, :class:`LinearSchedule`
+* :mod:`repro.nn.functional` — softmax / masked softmax / losses / distribution helpers
+* checkpoint helpers — :func:`save_module`, :func:`load_module`
+"""
+
+from . import functional
+from . import init
+from .attention import (
+    CrossAttentionLayer,
+    FeedForward,
+    MultiHeadAttention,
+    TransformerEncoderLayer,
+)
+from .layers import MLP, Activation, Dropout, Embedding, LayerNorm, Linear, Sequential
+from .module import Module
+from .optim import Adam, ConstantSchedule, LinearSchedule, Optimizer, SGD
+from .serialization import checkpoint_size_bytes, load_module, save_module
+from .tensor import Tensor, concatenate, ones, stack, tensor, where, zeros
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "concatenate",
+    "stack",
+    "where",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "MLP",
+    "Embedding",
+    "Sequential",
+    "Dropout",
+    "Activation",
+    "MultiHeadAttention",
+    "TransformerEncoderLayer",
+    "CrossAttentionLayer",
+    "FeedForward",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "LinearSchedule",
+    "ConstantSchedule",
+    "save_module",
+    "load_module",
+    "checkpoint_size_bytes",
+    "functional",
+    "init",
+]

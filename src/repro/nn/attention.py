@@ -1,0 +1,183 @@
+"""Attention layers used by the VMR2L feature extractor.
+
+The paper's feature extractor (§3.3) is a modified transformer: each block
+runs (1) sparse local attention within each PM tree, (2) self-attention among
+PMs and among VMs, and (3) VM→PM cross-attention.  The primitives here are
+mask-aware multi-head attention and a standard pre-norm transformer block; the
+VMR-specific wiring (tree masks, three-stage blocks) lives in
+:mod:`repro.core.attention`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layers import Activation, LayerNorm, Linear, Sequential
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product attention with an optional boolean mask.
+
+    The mask has shape ``(query_len, key_len)`` or ``(batch, query_len,
+    key_len)`` with ``True`` meaning the query is allowed to attend to the key.
+    Queries whose mask row is entirely ``False`` receive a zero output vector,
+    which matches the semantics needed for isolated nodes (e.g. a PM hosting
+    no VMs during tree-local attention).
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim={embed_dim} must be divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        gain = 1.0
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: Optional[np.ndarray] = None,
+        return_weights: bool = False,
+    ):
+        """Attend ``query`` over ``key``/``value``.
+
+        Inputs are 2-D ``(seq_len, embed_dim)`` tensors (the policy operates on
+        a single cluster state at a time, so there is no batch dimension).
+        """
+        q_len = query.shape[0]
+        k_len = key.shape[0]
+
+        q = self.q_proj(query).reshape(q_len, self.num_heads, self.head_dim).swapaxes(0, 1)
+        k = self.k_proj(key).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
+        v = self.v_proj(value).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.swapaxes(1, 2)) * scale  # (heads, q_len, k_len)
+
+        attention_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (q_len, k_len):
+                raise ValueError(f"mask shape {mask.shape} does not match ({q_len}, {k_len})")
+            attention_mask = np.broadcast_to(mask, (self.num_heads, q_len, k_len))
+
+        weights = F.masked_softmax(scores, attention_mask, axis=-1)
+        if mask is not None:
+            # Queries with no allowed keys should output zeros, not a uniform mix.
+            allowed = mask.any(axis=-1).astype(float)  # (q_len,)
+            weights = weights * Tensor(np.broadcast_to(allowed[None, :, None], (self.num_heads, q_len, k_len)))
+
+        context = weights.matmul(v)  # (heads, q_len, head_dim)
+        context = context.swapaxes(0, 1).reshape(q_len, self.embed_dim)
+        output = self.out_proj(context)
+        if return_weights:
+            mean_weights = weights.data.mean(axis=0)  # (q_len, k_len)
+            return output, mean_weights
+        return output
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (two dense layers, §3.3)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        hidden_dim: int,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.network = Sequential(
+            Linear(embed_dim, hidden_dim, rng=rng),
+            Activation(activation),
+            Linear(hidden_dim, embed_dim, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+
+class TransformerEncoderLayer(Module):
+    """Standard pre-norm transformer encoder layer with optional mask."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        hidden_dim: Optional[int] = None,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        hidden_dim = hidden_dim if hidden_dim is not None else 4 * embed_dim
+        self.attention = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.feed_forward = FeedForward(embed_dim, hidden_dim, activation=activation, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        normed = self.norm1(x)
+        x = x + self.attention(normed, normed, normed, mask=mask)
+        x = x + self.feed_forward(self.norm2(x))
+        return x
+
+
+class CrossAttentionLayer(Module):
+    """Pre-norm cross-attention block: queries attend to a separate key set."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        hidden_dim: Optional[int] = None,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        hidden_dim = hidden_dim if hidden_dim is not None else 4 * embed_dim
+        self.attention = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.feed_forward = FeedForward(embed_dim, hidden_dim, activation=activation, rng=rng)
+        self.norm_query = LayerNorm(embed_dim)
+        self.norm_key = LayerNorm(embed_dim)
+        self.norm_out = LayerNorm(embed_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key_value: Tensor,
+        mask: Optional[np.ndarray] = None,
+        return_weights: bool = False,
+    ):
+        q = self.norm_query(query)
+        kv = self.norm_key(key_value)
+        if return_weights:
+            attended, weights = self.attention(q, kv, kv, mask=mask, return_weights=True)
+        else:
+            attended = self.attention(q, kv, kv, mask=mask)
+            weights = None
+        out = query + attended
+        out = out + self.feed_forward(self.norm_out(out))
+        if return_weights:
+            return out, weights
+        return out

@@ -1,0 +1,220 @@
+"""Functional building blocks on top of :class:`repro.nn.tensor.Tensor`.
+
+These are the op-level primitives used by the layer classes in
+:mod:`repro.nn.layers` and :mod:`repro.nn.attention`: numerically stable
+softmax / log-softmax, masked softmax (used extensively by the two-stage
+policy to exclude infeasible VMs and PMs), layer normalization, activations,
+losses and categorical-distribution helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, where
+
+MASK_FILL_VALUE = -1e9
+
+
+# ---------------------------------------------------------------------- #
+# Activations
+# ---------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    cubic = x * x * x
+    inner = (x + cubic * 0.044715) * float(np.sqrt(2.0 / np.pi))
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    return where(x.data > 0.0, x, x * negative_slope)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "tanh": tanh,
+    "gelu": gelu,
+    "sigmoid": sigmoid,
+    "leaky_relu": leaky_relu,
+}
+
+
+def get_activation(name: str):
+    """Look up an activation function by name."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown activation '{name}'; expected one of {sorted(ACTIVATIONS)}")
+
+
+# ---------------------------------------------------------------------- #
+# Softmax family
+# ---------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, fill_value: float = MASK_FILL_VALUE) -> Tensor:
+    """Replace entries of ``x`` where ``mask`` is False with ``fill_value``.
+
+    ``mask`` uses the convention "True means keep" (a feasibility mask).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return where(mask, x, Tensor(np.full(x.shape, fill_value)))
+
+
+def masked_softmax(x: Tensor, mask: Optional[np.ndarray], axis: int = -1) -> Tensor:
+    """Softmax restricted to positions where ``mask`` is True.
+
+    Rows with no feasible entries produce a uniform distribution rather than
+    NaNs so that callers can detect and handle the "no feasible action" case
+    separately without numerical contamination.
+    """
+    if mask is None:
+        return softmax(x, axis=axis)
+    mask = np.asarray(mask, dtype=bool)
+    if not mask.any():
+        uniform = np.full(x.shape, 1.0 / x.shape[axis])
+        return Tensor(uniform)
+    filled = masked_fill(x, mask)
+    probs = softmax(filled, axis=axis)
+    # Zero out masked entries exactly (softmax leaves ~e-9 leakage).
+    cleaned = probs * Tensor(mask.astype(float))
+    total = cleaned.sum(axis=axis, keepdims=True)
+    return cleaned / (total + 1e-12)
+
+
+def masked_log_softmax(x: Tensor, mask: Optional[np.ndarray], axis: int = -1) -> Tensor:
+    if mask is None:
+        return log_softmax(x, axis=axis)
+    filled = masked_fill(x, mask)
+    return log_softmax(filled, axis=axis)
+
+
+# ---------------------------------------------------------------------- #
+# Normalization
+# ---------------------------------------------------------------------- #
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / (variance + eps).sqrt()
+    return normalized * weight + bias
+
+
+# ---------------------------------------------------------------------- #
+# Losses
+# ---------------------------------------------------------------------- #
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Smooth L1 loss, useful for value-function regression."""
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray, axis: int = -1) -> Tensor:
+    """Mean cross-entropy between logits and integer class targets."""
+    logp = log_softmax(logits, axis=axis)
+    targets = np.asarray(targets, dtype=int)
+    batch = np.arange(logp.shape[0])
+    picked = logp[batch, targets]
+    return -picked.mean()
+
+
+# ---------------------------------------------------------------------- #
+# Categorical distribution helpers (used by the PPO policies)
+# ---------------------------------------------------------------------- #
+def categorical_log_prob(logits: Tensor, actions: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Log-probability of ``actions`` under a (masked) categorical distribution.
+
+    ``logits`` has shape ``(batch, num_actions)`` and ``actions`` is an integer
+    vector of shape ``(batch,)``.
+    """
+    logp = masked_log_softmax(logits, mask, axis=-1)
+    actions = np.asarray(actions, dtype=int)
+    batch = np.arange(logp.shape[0])
+    return logp[batch, actions]
+
+
+def categorical_entropy(logits: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Entropy of a (masked) categorical distribution, per batch row."""
+    probs = masked_softmax(logits, mask, axis=-1)
+    logp = masked_log_softmax(logits, mask, axis=-1)
+    if mask is not None:
+        keep = Tensor(np.asarray(mask, dtype=float))
+        return -(probs * logp * keep).sum(axis=-1)
+    return -(probs * logp).sum(axis=-1)
+
+
+def sample_categorical(
+    probs: np.ndarray, rng: np.random.Generator, greedy: bool = False
+) -> int:
+    """Sample an index from a probability vector (or take the argmax)."""
+    probs = np.asarray(probs, dtype=float)
+    total = probs.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        raise ValueError("probability vector does not sum to a positive finite value")
+    probs = probs / total
+    if greedy:
+        return int(np.argmax(probs))
+    return int(rng.choice(len(probs), p=probs))
+
+
+def explained_variance(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of return variance explained by the value function."""
+    predictions = np.asarray(predictions, dtype=float).ravel()
+    targets = np.asarray(targets, dtype=float).ravel()
+    var_target = targets.var()
+    if var_target == 0.0:
+        return 0.0
+    return float(1.0 - (targets - predictions).var() / var_target)
+
+
+def clip_grad_norm(gradients, max_norm: float) -> Tuple[float, float]:
+    """Scale a list of gradient arrays in place to a maximum global norm.
+
+    Returns ``(total_norm, scale)``.
+    """
+    total = 0.0
+    for grad in gradients:
+        if grad is not None:
+            total += float(np.sum(grad ** 2))
+    total_norm = float(np.sqrt(total))
+    scale = 1.0
+    if max_norm > 0.0 and total_norm > max_norm:
+        scale = max_norm / (total_norm + 1e-8)
+        for grad in gradients:
+            if grad is not None:
+                grad *= scale
+    return total_norm, scale

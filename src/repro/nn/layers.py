@@ -1,0 +1,180 @@
+"""Standard neural-network layers built on the autograd substrate.
+
+These layers implement exactly the components the VMR2L architecture needs:
+``Linear`` projections, ``LayerNorm`` (used after every attention block,
+§3.3 of the paper), ``MLP`` embedding networks shared across all PMs/VMs
+(§3.3 "Scale to Many VMs & PMs"), ``Sequential`` composition and a feature
+``Embedding`` lookup used by the Decima-style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init as initializers
+from .module import Module
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "orthogonal",
+        gain: float = np.sqrt(2.0),
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        init_fn = initializers.get_initializer(weight_init)
+        weight = init_fn((out_features, in_features), rng, gain) if weight_init != "zeros" else np.zeros(
+            (out_features, in_features)
+        )
+        self.weight = self.register_parameter("weight", Tensor(weight))
+        self.has_bias = bias
+        if bias:
+            self.bias = self.register_parameter("bias", Tensor(np.zeros(out_features)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.swapaxes(0, 1))
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the final feature dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.normalized_shape = normalized_shape
+        self.weight = self.register_parameter("weight", Tensor(np.ones(normalized_shape)))
+        self.bias = self.register_parameter("bias", Tensor(np.zeros(normalized_shape)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout.  Only active in training mode."""
+
+    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = self.rng.random(x.shape) < keep
+        return x * Tensor(mask.astype(float) / keep)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for idx, module in enumerate(modules):
+            self.register_module(str(idx), module)
+            self._layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class Activation(Module):
+    """Wrap a functional activation so it can live inside ``Sequential``."""
+
+    def __init__(self, name: str = "relu") -> None:
+        super().__init__()
+        self.name = name
+        self._fn: Callable[[Tensor], Tensor] = F.get_activation(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    This is the shared embedding network the paper applies to every PM's and
+    every VM's raw features, keeping the parameter count independent of the
+    number of machines (§3.3).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        activation: str = "tanh",
+        final_activation: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+        final_gain: float = np.sqrt(2.0),
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        sizes = [in_features, *hidden_sizes, out_features]
+        layers: List[Module] = []
+        for i, (a, b) in enumerate(zip(sizes[:-1], sizes[1:])):
+            is_last = i == len(sizes) - 2
+            gain = final_gain if is_last else np.sqrt(2.0)
+            layers.append(Linear(a, b, rng=rng, gain=gain))
+            if not is_last:
+                layers.append(Activation(activation))
+            elif final_activation is not None:
+                layers.append(Activation(final_activation))
+        self.network = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        table = rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim))
+        self.weight = self.register_parameter("weight", Tensor(table))
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=int)
+        if indices.min(initial=0) < 0 or (indices.size and indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]

@@ -1,0 +1,188 @@
+"""Optimizers and learning-rate schedules for the :mod:`repro.nn` substrate.
+
+Provides Adam (the PPO default), plain SGD with momentum, gradient clipping
+integration, and the linear-anneal schedule used by CleanRL-style training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .functional import clip_grad_norm
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0.0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Clip the global gradient norm in place; returns the pre-clip norm."""
+        grads = [p.grad for p in self.parameters if p.grad is not None]
+        total_norm, _ = clip_grad_norm(grads, max_norm)
+        return total_norm
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state.get("lr", self.lr))
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", self.momentum))
+        self.weight_decay = float(state.get("weight_decay", self.weight_decay))
+        velocity = state.get("velocity")
+        if velocity is not None:
+            self._velocity = [np.asarray(v).copy() for v in velocity]
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 3e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state.get("beta1", self.beta1))
+        self.beta2 = float(state.get("beta2", self.beta2))
+        self.eps = float(state.get("eps", self.eps))
+        self.weight_decay = float(state.get("weight_decay", self.weight_decay))
+        self._step_count = int(state.get("step_count", self._step_count))
+        if "m" in state:
+            self._m = [np.asarray(m).copy() for m in state["m"]]
+        if "v" in state:
+            self._v = [np.asarray(v).copy() for v in state["v"]]
+
+
+class LinearSchedule:
+    """Linearly anneal a value (e.g. learning rate) from start to end."""
+
+    def __init__(self, start: float, end: float, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.start = start
+        self.end = end
+        self.total_steps = total_steps
+
+    def value(self, step: int) -> float:
+        fraction = min(max(step, 0), self.total_steps) / self.total_steps
+        return self.start + fraction * (self.end - self.start)
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self.value(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule:
+    """A schedule that always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def value(self, step: int) -> float:
+        return self._value
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        optimizer.lr = self._value
+        return self._value

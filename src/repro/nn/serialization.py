@@ -1,0 +1,62 @@
+"""Checkpoint (de)serialization for modules and optimizers.
+
+Checkpoints are stored as ``.npz`` archives of flat parameter arrays plus a
+JSON metadata blob.  The paper notes VMR2L checkpoints are under 2 MB; the
+same holds here because the parameter count is independent of cluster size.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from .module import Module
+
+_META_KEY = "__metadata__"
+
+
+def save_module(module: Module, path: str | Path, metadata: Optional[Dict] = None) -> Path:
+    """Save a module's parameters (and optional metadata) to ``path``.
+
+    The ``.npz`` suffix is appended if missing, mirroring ``numpy.savez``.
+    Returns the final path written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(module.state_dict())
+    if _META_KEY in arrays:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path
+
+
+def load_module(module: Module, path: str | Path, strict: bool = True) -> Dict:
+    """Load parameters into ``module`` and return the stored metadata dict."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        candidate = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+        if candidate.exists():
+            path = candidate
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    metadata_bytes = arrays.pop(_META_KEY, None)
+    module.load_state_dict(arrays, strict=strict)
+    if metadata_bytes is None:
+        return {}
+    return json.loads(bytes(metadata_bytes).decode("utf-8"))
+
+
+def checkpoint_size_bytes(path: str | Path) -> int:
+    """Return the on-disk size of a checkpoint file."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    return path.stat().st_size

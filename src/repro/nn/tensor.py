@@ -1,0 +1,556 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate, which replaces
+PyTorch in this reproduction.  A :class:`Tensor` wraps a ``numpy.ndarray`` and
+records the operations applied to it so that :meth:`Tensor.backward` can
+propagate gradients through the computation graph.
+
+The design follows the familiar define-by-run model: every operation creates a
+new :class:`Tensor` whose ``_backward`` closure knows how to route the incoming
+gradient to the parents.  Only float arrays participate in differentiation;
+integer arrays (e.g. index tensors) can be wrapped but never require gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a numpy array with a float dtype by default."""
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array-like, got Tensor")
+    arr = np.asarray(value)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if arr.dtype.kind in ("i", "u", "b"):
+        return arr.astype(_DEFAULT_DTYPE)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, reversing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that supports reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a tensor with exactly one element")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, parents=parents, backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate through the graph rooted at this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order = self._topological_order()
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> list:
+        order: list = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(out_data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparison (non-differentiable, returns raw arrays)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiplication
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data
+                else:
+                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.outer(self.data, grad) if other.data.ndim == 2 else self.data * grad
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = out_data
+            g = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(expanded, axis=axis)
+                g = np.expand_dims(g, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            counts = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0.0))
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * inside)
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return self._make(out_data, (self,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Free-standing constructors and graph-level ops
+# ---------------------------------------------------------------------- #
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    requires = any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(moved[i])
+
+    requires = any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
+
+
+def where(condition: np.ndarray, a: Union[Tensor, ArrayLike], b: Union[Tensor, ArrayLike]) -> Tensor:
+    """Differentiable ``numpy.where`` over two tensors (condition is constant)."""
+    a = Tensor._ensure(a)
+    b = Tensor._ensure(b)
+    cond = np.asarray(condition)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * cond)
+        if b.requires_grad:
+            b._accumulate(grad * (~cond if cond.dtype == bool else 1.0 - cond))
+
+    requires = a.requires_grad or b.requires_grad
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward=backward)

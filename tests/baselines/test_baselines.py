@@ -1,0 +1,304 @@
+"""Tests for every baseline rescheduler and the shared Rescheduler interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AlphaVBPP,
+    DecimaRescheduler,
+    FilteringHeuristic,
+    MCTSRescheduler,
+    MIPRescheduler,
+    NeuPlanRescheduler,
+    POPRescheduler,
+    RandomRescheduler,
+    Rescheduler,
+    evaluate_plan,
+    order_migrations,
+)
+from repro.cluster import (
+    ClusterState,
+    ConstraintConfig,
+    PhysicalMachine,
+    Placement,
+    PMType,
+    VirtualMachine,
+    VMTypeCatalog,
+)
+from repro.core import ModelConfig, PPOConfig, VMR2LConfig
+from repro.datasets import ClusterSpec, SnapshotGenerator
+
+CATALOG = VMTypeCatalog.main()
+
+
+def fragmented_state(num_pms=6, seed=0):
+    """A small cluster with plenty of fragmentation to repair."""
+    spec = ClusterSpec(num_pms=num_pms, target_utilization=0.7, best_fit_fraction=0.2)
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+def tiny_state():
+    """Hand-built 3-PM cluster where one migration removes all fragments."""
+    pms = [PhysicalMachine(pm_id=i, pm_type=PMType("pm32", cpu=32, memory=128)) for i in range(3)]
+    state = ClusterState(pms=pms, vms=[])
+    state.add_vm(VirtualMachine(vm_id=0, vm_type=CATALOG.get("xlarge")), Placement(0, 0))
+    state.add_vm(VirtualMachine(vm_id=1, vm_type=CATALOG.get("4xlarge")), Placement(0, 1))
+    state.add_vm(VirtualMachine(vm_id=2, vm_type=CATALOG.get("4xlarge")), Placement(1, 0))
+    state.add_vm(VirtualMachine(vm_id=3, vm_type=CATALOG.get("2xlarge")), Placement(1, 1))
+    state.add_vm(VirtualMachine(vm_id=4, vm_type=CATALOG.get("xlarge")), Placement(2, 0))
+    return state
+
+
+ALL_FAST_BASELINES = [
+    FilteringHeuristic(),
+    AlphaVBPP(alpha=3),
+    RandomRescheduler(seed=0),
+    MCTSRescheduler(iterations_per_step=4, candidate_actions=4, rollout_depth=2),
+    NeuPlanRescheduler(relax_factor=10, time_limit_s=5.0),
+]
+
+
+class TestReschedulerInterface:
+    @pytest.mark.parametrize("algorithm", ALL_FAST_BASELINES, ids=lambda a: a.name)
+    def test_compute_plan_contract(self, algorithm):
+        state = fragmented_state()
+        before = state.to_dict()
+        result = algorithm.compute_plan(state, migration_limit=5)
+        # The input snapshot is never mutated.
+        assert state.to_dict() == before
+        assert result.num_migrations <= 5
+        assert result.inference_seconds >= 0.0
+        assert result.algorithm == algorithm.name
+
+    @pytest.mark.parametrize("algorithm", ALL_FAST_BASELINES, ids=lambda a: a.name)
+    def test_plans_never_increase_fragment_rate_much(self, algorithm):
+        state = fragmented_state()
+        result = algorithm.compute_plan(state, migration_limit=5)
+        evaluation = evaluate_plan(state, result)
+        # Random may wander, but every plan must stay a valid FR in [0, 1].
+        assert 0.0 <= evaluation.final_objective <= 1.0
+        assert evaluation.num_applied + evaluation.num_skipped == evaluation.num_migrations
+
+    def test_zero_migration_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FilteringHeuristic().compute_plan(fragmented_state(), migration_limit=0)
+
+    def test_base_class_requires_implementation(self):
+        with pytest.raises(NotImplementedError):
+            Rescheduler().compute_plan(fragmented_state(), 3)
+
+
+class TestFilteringHeuristic:
+    def test_fixes_tiny_cluster(self):
+        state = tiny_state()
+        result = FilteringHeuristic().compute_plan(state, migration_limit=3)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective < evaluation.initial_objective
+
+    def test_reduces_fr_on_generated_cluster(self):
+        state = fragmented_state()
+        result = FilteringHeuristic().compute_plan(state, migration_limit=8)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective <= evaluation.initial_objective
+
+    def test_stops_when_no_improvement(self):
+        state = tiny_state()
+        result = FilteringHeuristic().compute_plan(state, migration_limit=50)
+        assert result.num_migrations < 50
+        assert result.info["stop_reason"] in ("no_improvement", "no_candidate")
+
+    def test_respects_anti_affinity(self):
+        state = fragmented_state()
+        vm_ids = sorted(state.vms)[:4]
+        for vm_id in vm_ids:
+            state.vms[vm_id].anti_affinity_group = 1
+        result = FilteringHeuristic().compute_plan(state, migration_limit=6)
+        violations = []
+        working = state.copy()
+        for migration in result.plan:
+            if working.can_host(migration.vm_id, migration.dest_pm_id, honor_affinity=True):
+                working.migrate_vm(migration.vm_id, migration.dest_pm_id)
+            else:
+                violations.append(migration)
+        assert not violations
+
+
+class TestAlphaVBPP:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AlphaVBPP(alpha=0)
+        with pytest.raises(ValueError):
+            AlphaVBPP(cpu_weight=2.0)
+
+    def test_reduces_or_preserves_fr(self):
+        state = fragmented_state(seed=1)
+        result = AlphaVBPP(alpha=4).compute_plan(state, migration_limit=8)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective <= evaluation.initial_objective + 1e-9
+
+    def test_migrations_only_count_actual_moves(self):
+        state = fragmented_state(seed=2)
+        result = AlphaVBPP(alpha=4).compute_plan(state, migration_limit=6)
+        for migration in result.plan:
+            assert state.vms[migration.vm_id].pm_id != migration.dest_pm_id
+
+
+class TestMIP:
+    def test_mip_beats_or_matches_heuristic(self):
+        state = fragmented_state()
+        mip_eval = evaluate_plan(state, MIPRescheduler(time_limit_s=30).compute_plan(state, 8))
+        ha_eval = evaluate_plan(state, FilteringHeuristic().compute_plan(state, 8))
+        assert mip_eval.final_objective <= ha_eval.final_objective + 1e-6
+
+    def test_mip_respects_migration_limit(self):
+        state = fragmented_state()
+        result = MIPRescheduler(time_limit_s=30).compute_plan(state, 3)
+        assert result.num_migrations <= 3
+
+    def test_mip_with_candidate_restriction(self):
+        state = fragmented_state()
+        candidates = sorted(state.vms)[:10]
+        result = MIPRescheduler(time_limit_s=15, candidate_vms=candidates).compute_plan(state, 5)
+        assert set(result.plan.vm_ids()) <= set(candidates)
+
+    def test_mip_on_tiny_cluster_reaches_zero_fragments(self):
+        state = tiny_state()
+        result = MIPRescheduler(time_limit_s=15).compute_plan(state, 3)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective == pytest.approx(0.0, abs=1e-9)
+
+    def test_mip_honors_anti_affinity(self):
+        """The final assignment never co-locates conflicting VMs.
+
+        The MIP optimizes the *final* assignment (Eq. 1-7), so it may propose
+        swaps that are only executable in a particular order; applying the plan
+        with affinity enforcement (production behaviour) must still never leave
+        two conflicting VMs on the same PM.
+        """
+        from repro.cluster import apply_plan
+
+        state = tiny_state()
+        for vm_id in (0, 2, 4):
+            state.vms[vm_id].anti_affinity_group = 3
+        result = MIPRescheduler(time_limit_s=15).compute_plan(state, 3)
+        final_state, _ = apply_plan(state, result.plan, honor_affinity=True, skip_infeasible=True)
+        for pm_id in final_state.pms:
+            groups = [
+                final_state.vms[v].anti_affinity_group
+                for v in final_state.pms[pm_id].vm_ids
+                if final_state.vms[v].anti_affinity_group is not None
+            ]
+            assert len(groups) == len(set(groups))
+
+    def test_order_migrations_produces_applicable_sequence(self):
+        state = tiny_state()
+        assignment = {0: 1, 2: 2}  # move VM0 to PM1, VM2 to PM2
+        plan = order_migrations(state, assignment)
+        working = state.copy()
+        applied = 0
+        for migration in plan:
+            if working.can_host(migration.vm_id, migration.dest_pm_id, honor_affinity=False):
+                working.migrate_vm(migration.vm_id, migration.dest_pm_id)
+                applied += 1
+        assert applied == len(plan)
+
+
+class TestPOP:
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            POPRescheduler(num_partitions=0)
+
+    def test_pop_reduces_fr_but_not_below_full_mip(self):
+        state = fragmented_state()
+        pop_eval = evaluate_plan(state, POPRescheduler(num_partitions=3, time_limit_s=15).compute_plan(state, 8))
+        mip_eval = evaluate_plan(state, MIPRescheduler(time_limit_s=30).compute_plan(state, 8))
+        assert pop_eval.final_objective <= pop_eval.initial_objective
+        assert mip_eval.final_objective <= pop_eval.final_objective + 1e-6
+
+    def test_pop_is_faster_than_full_mip_on_same_budget(self):
+        state = fragmented_state(num_pms=8, seed=3)
+        pop_result = POPRescheduler(num_partitions=4, time_limit_s=20).compute_plan(state, 8)
+        assert pop_result.info["partitions"]
+
+
+class TestMCTS:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MCTSRescheduler(iterations_per_step=0)
+
+    def test_mcts_improves_tiny_cluster(self):
+        state = tiny_state()
+        result = MCTSRescheduler(iterations_per_step=8, candidate_actions=4).compute_plan(state, 3)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective <= evaluation.initial_objective
+
+    def test_mcts_records_simulations(self):
+        state = tiny_state()
+        result = MCTSRescheduler(iterations_per_step=4).compute_plan(state, 2)
+        assert result.info["simulations"] >= 4
+
+
+class TestNeuPlan:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NeuPlanRescheduler(prefix_fraction=1.5)
+        with pytest.raises(ValueError):
+            NeuPlanRescheduler(relax_factor=0)
+
+    def test_neuplan_combines_prefix_and_mip(self):
+        state = fragmented_state()
+        result = NeuPlanRescheduler(prefix_fraction=0.4, relax_factor=12, time_limit_s=10).compute_plan(state, 6)
+        evaluation = evaluate_plan(state, result)
+        assert evaluation.final_objective <= evaluation.initial_objective
+        assert result.num_migrations <= 6
+
+
+class TestDecima:
+    def test_decima_plans_without_training(self):
+        state = fragmented_state()
+        decima = DecimaRescheduler(
+            config=VMR2LConfig(
+                model=ModelConfig(extractor="vanilla", embed_dim=16, num_heads=2, num_blocks=1),
+                ppo=PPOConfig(rollout_steps=8, minibatch_size=4, update_epochs=1),
+                migration_limit=4,
+            ),
+            pm_subset_size=3,
+            seed=0,
+        )
+        result = decima.compute_plan(state, migration_limit=4)
+        evaluation = evaluate_plan(state, result)
+        assert result.num_migrations <= 4
+        assert 0.0 <= evaluation.final_objective <= 1.0
+
+    def test_decima_subsampling_limits_mask(self):
+        from repro.baselines.decima import _SubsampledEnv
+
+        state = fragmented_state()
+        env = _SubsampledEnv(
+            state,
+            ConstraintConfig(migration_limit=5),
+            pm_subset_size=2,
+            subsample_rng=np.random.default_rng(0),
+        )
+        env.reset()
+        mask = env.pm_action_mask(0)
+        assert mask.sum() <= 2
+
+    def test_decima_rejects_tree_extractor(self):
+        with pytest.raises(ValueError):
+            DecimaRescheduler(config=VMR2LConfig(model=ModelConfig(extractor="sparse")))
+
+    def test_decima_short_training_runs(self):
+        state = fragmented_state(num_pms=4, seed=4)
+        decima = DecimaRescheduler(
+            config=VMR2LConfig(
+                model=ModelConfig(extractor="vanilla", embed_dim=16, num_heads=2, num_blocks=1),
+                ppo=PPOConfig(rollout_steps=8, minibatch_size=8, update_epochs=1),
+                migration_limit=3,
+            ),
+            pm_subset_size=2,
+            seed=0,
+        )
+        decima.train_on_states([state], total_steps=8)
+        result = decima.compute_plan(state, migration_limit=3)
+        assert result.num_migrations <= 3

@@ -1,0 +1,302 @@
+"""Tests for ClusterState placement bookkeeping and fragment-rate metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    BOTH_NUMAS,
+    ClusterState,
+    PhysicalMachine,
+    Placement,
+    PMType,
+    VirtualMachine,
+    VMTypeCatalog,
+    fragment_rate,
+)
+from repro.cluster.fragmentation import (
+    max_hostable_vms,
+    memory_fragment_rate,
+    mixed_objective,
+    numa_cpu_fragment,
+    pm_cpu_fragment,
+    pm_fragment_score,
+)
+
+CATALOG = VMTypeCatalog.main()
+
+
+def make_pm(pm_id, cpu=64, memory=256):
+    return PhysicalMachine(pm_id=pm_id, pm_type=PMType(f"pm-{cpu}c", cpu=cpu, memory=memory))
+
+
+def make_vm(vm_id, type_name="xlarge", pm_id=None, numa_id=None, group=None):
+    return VirtualMachine(
+        vm_id=vm_id,
+        vm_type=CATALOG.get(type_name),
+        pm_id=pm_id,
+        numa_id=numa_id,
+        anti_affinity_group=group,
+    )
+
+
+def build_paper_example():
+    """The Fig. 2-3 example: PM1 with 12 free cores, PM2 with 20 free cores.
+
+    PM1 (32 cores, 16 per NUMA) hosts a 4-core VM and a 16-core VM, leaving 12
+    free cores that are all fragments.  PM2 (64 cores, 32 per NUMA) has one
+    NUMA fully packed and 20 free cores on the other, of which 4 are fragments.
+    Total: 16 fragmented cores out of 32 free → FR 50%, exactly the paper's
+    worked example.  Migrating the 4-core VM to PM2 drops the FR to 0.
+    """
+    pm1 = make_pm(1, cpu=32, memory=128)
+    pm2 = make_pm(2, cpu=64, memory=256)
+    vms = [
+        make_vm(1, "xlarge", pm_id=1, numa_id=0),     # 4 cores on PM1/NUMA0 -> 12 free
+        make_vm(2, "4xlarge", pm_id=1, numa_id=1),    # 16 cores on PM1/NUMA1 -> 0 free
+        make_vm(3, "4xlarge", pm_id=2, numa_id=0),    # 16 cores on PM2/NUMA0
+        make_vm(4, "4xlarge", pm_id=2, numa_id=0),    # 16 cores on PM2/NUMA0 -> 0 free
+        make_vm(5, "2xlarge", pm_id=2, numa_id=1),    # 8 cores on PM2/NUMA1
+        make_vm(6, "xlarge", pm_id=2, numa_id=1),     # 4 cores on PM2/NUMA1 -> 20 free
+    ]
+    return ClusterState(pms=[pm1, pm2], vms=vms)
+
+
+class TestFragmentMetricsPaperExample:
+    def test_initial_fr_is_fifty_percent(self):
+        state = build_paper_example()
+        assert state.fragment_rate() == pytest.approx(0.5)
+
+    def test_migrating_vm1_to_pm2_reaches_zero_fr(self):
+        """Fig. 3: moving the 4-core VM off PM1 leaves 16 free cores on each PM."""
+        state = build_paper_example()
+        state.migrate_vm(1, dest_pm_id=2)
+        assert state.fragment_rate() == pytest.approx(0.0)
+
+    def test_total_fragment_value(self):
+        state = build_paper_example()
+        assert state.total_fragment() == pytest.approx(16.0)
+
+    def test_pm_fragment_decomposition(self):
+        state = build_paper_example()
+        assert state.pm_fragment(1) == pytest.approx(12.0)
+        assert state.pm_fragment(2) == pytest.approx(4.0)
+
+
+class TestFragmentationFunctions:
+    def test_numa_fragment_modulo(self):
+        pm = make_pm(0, cpu=64)
+        pm.numas[0].allocate(1, cpu=10, memory=10)
+        assert numa_cpu_fragment(pm.numas[0], 16) == pytest.approx(22 % 16)
+
+    def test_empty_cluster_fr_zero(self):
+        assert fragment_rate([], 16) == 0.0
+
+    def test_fully_packed_cluster_fr_zero(self):
+        pm = make_pm(0, cpu=32, memory=128)
+        pm.numas[0].allocate(1, cpu=16, memory=32)
+        pm.numas[1].allocate(2, cpu=16, memory=32)
+        assert fragment_rate([pm], 16) == 0.0
+
+    def test_fragment_score_uses_reward_scale(self):
+        pm = make_pm(0, cpu=32)
+        pm.numas[0].allocate(1, cpu=4, memory=4)
+        # free: 12 and 16 -> fragments 12 + 0 = 12, scaled by 64
+        assert pm_fragment_score(pm, 16) == pytest.approx(12 / 64)
+
+    def test_memory_fragment_rate(self):
+        pm = make_pm(0, cpu=64, memory=256)
+        pm.numas[0].allocate(1, cpu=4, memory=100)
+        # free memory: 28 and 128 -> fragments 28 % 64 + 0 = 28 of 156 free
+        assert memory_fragment_rate([pm], 64) == pytest.approx(28 / 156)
+
+    def test_mixed_objective_bounds_and_validation(self):
+        pm = make_pm(0, cpu=64)
+        assert 0.0 <= mixed_objective([pm], weight=0.3) <= 1.0
+        with pytest.raises(ValueError):
+            mixed_objective([pm], weight=1.5)
+        with pytest.raises(ValueError):
+            mixed_objective([pm], weight=0.5, secondary_cores=None, secondary_memory=None)
+
+    def test_max_hostable_vms(self):
+        pm = make_pm(0, cpu=64)  # 32 per NUMA
+        assert max_hostable_vms(pm, 16) == 4
+        pm.numas[0].allocate(1, cpu=20, memory=8)
+        assert max_hostable_vms(pm, 16) == 2
+
+    def test_invalid_granularity_raises(self):
+        pm = make_pm(0)
+        with pytest.raises(ValueError):
+            numa_cpu_fragment(pm.numas[0], 0)
+
+
+class TestClusterStatePlacement:
+    def test_initial_placement_applied(self):
+        state = build_paper_example()
+        assert state.vms[1].is_placed
+        assert 1 in state.pms[1].numas[0].vm_ids
+
+    def test_place_remove_roundtrip_restores_resources(self):
+        state = build_paper_example()
+        free_before = state.pms[2].free_cpu
+        vm = make_vm(50, "xlarge")
+        state.add_vm(vm, Placement(pm_id=2, numa_id=1))
+        assert state.pms[2].free_cpu == free_before - 4
+        state.remove_vm(50)
+        assert state.pms[2].free_cpu == free_before
+
+    def test_double_numa_vm_occupies_both_numas(self):
+        pm = make_pm(0, cpu=128, memory=512)
+        state = ClusterState(pms=[pm], vms=[])
+        vm = make_vm(9, "16xlarge")
+        state.add_vm(vm, Placement(pm_id=0, numa_id=BOTH_NUMAS))
+        assert pm.numas[0].free_cpu == 64 - 32
+        assert pm.numas[1].free_cpu == 64 - 32
+
+    def test_double_numa_vm_requires_both_numa_target(self):
+        pm = make_pm(0, cpu=128, memory=512)
+        state = ClusterState(pms=[pm], vms=[])
+        vm = make_vm(9, "16xlarge")
+        with pytest.raises(ValueError):
+            state.add_vm(vm, Placement(pm_id=0, numa_id=0))
+
+    def test_single_numa_vm_rejects_both_numas(self):
+        pm = make_pm(0)
+        state = ClusterState(pms=[pm], vms=[])
+        with pytest.raises(ValueError):
+            state.add_vm(make_vm(1, "xlarge"), Placement(pm_id=0, numa_id=BOTH_NUMAS))
+
+    def test_placing_already_placed_vm_raises(self):
+        state = build_paper_example()
+        with pytest.raises(ValueError):
+            state.place_vm(1, Placement(pm_id=2, numa_id=0))
+
+    def test_migrate_to_same_pm_rejected(self):
+        state = build_paper_example()
+        with pytest.raises(ValueError):
+            state.migrate_vm(1, dest_pm_id=1)
+
+    def test_migrate_infeasible_restores_original_placement(self):
+        pm1 = make_pm(1, cpu=32, memory=128)
+        pm2 = make_pm(2, cpu=32, memory=128)
+        blocker = make_vm(10, "4xlarge", pm_id=2, numa_id=0)
+        blocker2 = make_vm(11, "4xlarge", pm_id=2, numa_id=1)
+        mover = make_vm(12, "4xlarge", pm_id=1, numa_id=0)
+        state = ClusterState(pms=[pm1, pm2], vms=[blocker, blocker2, mover])
+        with pytest.raises(ValueError):
+            state.migrate_vm(12, dest_pm_id=2)
+        assert state.vms[12].pm_id == 1
+        assert state.pms[1].free_cpu == 32 - 16
+
+    def test_best_numa_prefers_smallest_resulting_fragment(self):
+        pm = make_pm(0, cpu=64, memory=256)  # 32 cores per NUMA
+        filler = make_vm(1, "4xlarge", pm_id=0, numa_id=0)  # NUMA0 left with 16
+        mover = make_vm(2, "4xlarge", pm_id=1, numa_id=0)
+        state = ClusterState(pms=[pm, make_pm(1, cpu=64, memory=256)], vms=[filler, mover])
+        # Moving the 16-core VM onto PM0: NUMA0 (16 free) gives fragment 0,
+        # NUMA1 (32 free) gives fragment 16 -> best NUMA is 0.
+        assert state.best_numa_for(2, 0) == 0
+
+    def test_remove_vm_from_cluster_deletes_vm(self):
+        state = build_paper_example()
+        state.remove_vm_from_cluster(1)
+        assert 1 not in state.vms
+        assert 1 not in state.pms[1].numas[0].vm_ids
+
+    def test_copy_is_deep(self):
+        state = build_paper_example()
+        clone = state.copy()
+        clone.migrate_vm(1, dest_pm_id=2)
+        assert state.vms[1].pm_id == 1
+        assert clone.vms[1].pm_id == 2
+        assert state.fragment_rate() == pytest.approx(0.5)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterState(pms=[make_pm(0), make_pm(0)], vms=[])
+        with pytest.raises(ValueError):
+            ClusterState(pms=[make_pm(0)], vms=[make_vm(1), make_vm(1)])
+
+    def test_to_from_dict_roundtrip(self):
+        state = build_paper_example()
+        payload = state.to_dict()
+        restored = ClusterState.from_dict(payload)
+        assert restored.fragment_rate() == pytest.approx(state.fragment_rate())
+        assert sorted(restored.vms) == sorted(state.vms)
+        assert restored.vms[1].pm_id == state.vms[1].pm_id
+
+    def test_cpu_utilization(self):
+        state = build_paper_example()
+        used = 4 + 16 + 16 + 16 + 8 + 4
+        assert state.cpu_utilization() == pytest.approx(used / 96)
+
+
+class TestAntiAffinity:
+    def test_conflicting_pms_detected(self):
+        pm1, pm2 = make_pm(1), make_pm(2)
+        vm_a = make_vm(1, "xlarge", pm_id=1, numa_id=0, group=0)
+        vm_b = make_vm(2, "xlarge", pm_id=2, numa_id=0, group=0)
+        vm_c = make_vm(3, "xlarge", pm_id=2, numa_id=1, group=None)
+        state = ClusterState(pms=[pm1, pm2], vms=[vm_a, vm_b, vm_c])
+        assert state.conflicting_pm_ids(1) == {2}
+        assert state.conflicting_pm_ids(3) == set()
+
+    def test_feasible_destinations_respect_affinity(self):
+        pm1, pm2, pm3 = make_pm(1), make_pm(2), make_pm(3)
+        vm_a = make_vm(1, "xlarge", pm_id=1, numa_id=0, group=7)
+        vm_b = make_vm(2, "xlarge", pm_id=2, numa_id=0, group=7)
+        state = ClusterState(pms=[pm1, pm2, pm3], vms=[vm_a, vm_b])
+        assert state.feasible_destination_pms(1) == [3]
+        assert state.feasible_destination_pms(1, honor_affinity=False) == [2, 3]
+
+    def test_affinity_ratio(self):
+        pm1 = make_pm(1, cpu=128, memory=512)
+        vms = [make_vm(i, "large", pm_id=1, numa_id=0, group=0 if i < 3 else None) for i in range(6)]
+        state = ClusterState(pms=[pm1], vms=vms)
+        # 3 VMs conflict pairwise: 3*2 ordered pairs over 6*5 total pairs.
+        assert state.affinity_ratio() == pytest.approx(6 / 30)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.sampled_from(["large", "xlarge", "2xlarge", "4xlarge"]), min_size=1, max_size=12),
+           st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_free_cpu_plus_used_cpu_equals_capacity(self, type_names, seed):
+        """Resource conservation: allocations never create or destroy capacity."""
+        rng = np.random.default_rng(seed)
+        pms = [make_pm(i, cpu=64, memory=256) for i in range(3)]
+        state = ClusterState(pms=pms, vms=[])
+        for vm_id, name in enumerate(type_names):
+            vm = make_vm(vm_id, name)
+            state.vms[vm_id] = vm
+            candidates = [
+                (pm_id, numa_id)
+                for pm_id in state.pms
+                for numa_id in state.feasible_numas(vm_id, pm_id)
+            ]
+            if not candidates:
+                del state.vms[vm_id]
+                continue
+            pm_id, numa_id = candidates[rng.integers(len(candidates))]
+            state.place_vm(vm_id, Placement(pm_id=pm_id, numa_id=numa_id))
+        total_capacity = sum(pm.cpu_capacity for pm in state.pms.values())
+        total_free = sum(pm.free_cpu for pm in state.pms.values())
+        total_used = sum(vm.cpu for vm in state.vms.values() if vm.is_placed)
+        assert total_free + total_used == pytest.approx(total_capacity)
+        assert 0.0 <= state.fragment_rate() <= 1.0
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_migration_preserves_total_usage_and_fr_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        state = build_paper_example()
+        used_before = sum(vm.cpu for vm in state.vms.values() if vm.is_placed)
+        movable = [vm_id for vm_id in state.vms if state.feasible_destination_pms(vm_id)]
+        if movable:
+            vm_id = movable[rng.integers(len(movable))]
+            dest = state.feasible_destination_pms(vm_id)
+            state.migrate_vm(vm_id, dest[rng.integers(len(dest))])
+        used_after = sum(vm.cpu for vm in state.vms.values() if vm.is_placed)
+        assert used_before == used_after
+        assert 0.0 <= state.fragment_rate() <= 1.0

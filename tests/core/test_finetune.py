@@ -1,0 +1,94 @@
+"""Tests for top-layer finetuning (§7 'Adapting to New data')."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstraintConfig
+from repro.core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
+from repro.core.finetune import (
+    finetune_top_layers,
+    freeze_extractor,
+    head_parameter_names,
+    unfreeze_all,
+)
+from repro.datasets import generate_workload_snapshots
+
+
+def tiny_agent(seed=0):
+    config = VMR2LConfig(
+        model=ModelConfig(embed_dim=16, num_heads=2, num_blocks=1, feedforward_dim=32),
+        ppo=PPOConfig(rollout_steps=16, minibatch_size=8, update_epochs=1, learning_rate=1e-3),
+        risk_seeking=RiskSeekingConfig(num_trajectories=2),
+        migration_limit=4,
+    )
+    return VMR2LAgent(config, constraint_config=ConstraintConfig(migration_limit=4), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def workload_states():
+    low = generate_workload_snapshots("low", 2, base="small", seed=0, num_pms=6)
+    high = generate_workload_snapshots("high", 2, base="small", seed=0, num_pms=6)
+    return low, high
+
+
+class TestFreezing:
+    def test_head_parameter_names_exclude_extractor(self):
+        agent = tiny_agent()
+        names = head_parameter_names(agent)
+        assert names
+        assert all(not name.startswith("extractor.") for name in names)
+
+    def test_freeze_and_unfreeze_roundtrip(self):
+        agent = tiny_agent()
+        frozen = freeze_extractor(agent)
+        assert frozen
+        assert all(
+            not parameter.requires_grad
+            for name, parameter in agent.policy.named_parameters()
+            if name.startswith("extractor.")
+        )
+        unfreeze_all(agent)
+        assert all(parameter.requires_grad for _, parameter in agent.policy.named_parameters())
+
+
+class TestFinetuning:
+    def test_finetune_updates_heads_but_not_extractor(self, workload_states):
+        low, high = workload_states
+        agent = tiny_agent()
+        agent.train_on_states(low, total_steps=16)
+        extractor_before = {
+            name: value.copy()
+            for name, value in agent.policy.state_dict().items()
+            if name.startswith("extractor.")
+        }
+        heads_before = {
+            name: value.copy()
+            for name, value in agent.policy.state_dict().items()
+            if not name.startswith("extractor.")
+        }
+        history = finetune_top_layers(agent, high, total_steps=16)
+        assert len(history) == 1
+        after = agent.policy.state_dict()
+        for name, value in extractor_before.items():
+            np.testing.assert_allclose(after[name], value)
+        assert any(not np.allclose(after[name], value) for name, value in heads_before.items())
+        # Everything is trainable again after finetuning.
+        assert all(parameter.requires_grad for _, parameter in agent.policy.named_parameters())
+
+    def test_finetuned_agent_still_plans(self, workload_states):
+        low, high = workload_states
+        agent = tiny_agent()
+        agent.train_on_states(low, total_steps=16)
+        finetune_top_layers(agent, high, total_steps=16)
+        result = agent.compute_plan(high[0], migration_limit=4)
+        assert result.num_migrations <= 4
+
+    def test_validation(self, workload_states):
+        low, _ = workload_states
+        agent = tiny_agent()
+        with pytest.raises(ValueError):
+            finetune_top_layers(agent, [], total_steps=16)
+        with pytest.raises(ValueError):
+            finetune_top_layers(agent, low, total_steps=0)
+        with pytest.raises(ValueError):
+            finetune_top_layers(agent, low, total_steps=16, learning_rate_scale=0.0)

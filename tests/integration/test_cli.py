@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (generate-dataset / train / evaluate / plan)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli") / "dataset"
+    exit_code = main(
+        [
+            "generate-dataset",
+            "--output", str(root),
+            "--preset", "small",
+            "--num-pms", "6",
+            "--num-mappings", "6",
+            "--seed", "0",
+        ]
+    )
+    assert exit_code == 0
+    return root
+
+
+@pytest.fixture(scope="module")
+def checkpoint(dataset_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_ckpt") / "agent.npz"
+    exit_code = main(
+        [
+            "train",
+            "--dataset", str(dataset_dir),
+            "--checkpoint", str(path),
+            "--total-steps", "16",
+            "--migration-limit", "4",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_generate(self):
+        args = build_parser().parse_args(["generate-dataset", "--output", "x"])
+        assert args.command == "generate-dataset"
+        assert args.preset == "small"
+
+
+class TestGenerateDataset:
+    def test_creates_split_files(self, dataset_dir):
+        assert (dataset_dir / "metadata.json").exists()
+        assert (dataset_dir / "train.jsonl").exists()
+        assert (dataset_dir / "test.jsonl").exists()
+
+    def test_workload_option(self, tmp_path, capsys):
+        root = tmp_path / "low"
+        main(
+            [
+                "generate-dataset",
+                "--output", str(root),
+                "--workload", "low",
+                "--num-pms", "5",
+                "--num-mappings", "4",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["num_pms"] == 5
+
+
+class TestTrainEvaluatePlan:
+    def test_train_writes_checkpoint(self, checkpoint):
+        assert Path(checkpoint).exists()
+        assert Path(checkpoint).stat().st_size < 2 * 1024 * 1024
+
+    def test_evaluate_with_baseline_and_checkpoint(self, dataset_dir, checkpoint, capsys):
+        main(
+            [
+                "evaluate",
+                "--dataset", str(dataset_dir),
+                "--checkpoint", str(checkpoint),
+                "--baselines", "ha",
+                "--migration-limit", "4",
+                "--max-mappings", "1",
+                "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        algorithms = {row["algorithm"] for row in rows}
+        assert {"HA", "VMR2L"} <= algorithms
+        for row in rows:
+            assert 0.0 <= row["mean_fragment_rate"] <= 1.0
+
+    def test_evaluate_rejects_unknown_baseline(self, dataset_dir):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--dataset", str(dataset_dir), "--baselines", "quantum"])
+
+    def test_plan_on_single_mapping(self, dataset_dir, capsys):
+        mapping_file = dataset_dir / "test.jsonl"
+        main(
+            [
+                "plan",
+                "--mapping", str(mapping_file),
+                "--migration-limit", "4",
+                "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["algorithm"] == "HA"
+        assert rows[0]["final_fragment_rate"] <= rows[0]["initial_fragment_rate"] + 1e-9
+
+    def test_plan_visualize_text_output(self, dataset_dir, capsys):
+        mapping_file = dataset_dir / "test.jsonl"
+        main(["plan", "--mapping", str(mapping_file), "--migration-limit", "4", "--visualize"])
+        output = capsys.readouterr().out
+        assert "plan summary" in output

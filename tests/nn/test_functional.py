@@ -1,0 +1,176 @@
+"""Tests for repro.nn.functional: softmax family, losses, distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.numpy().sum(axis=-1), [1.0, 1.0])
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        p1 = F.softmax(Tensor(logits)).numpy()
+        p2 = F.softmax(Tensor(logits + 100.0)).numpy()
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_softmax_handles_large_values(self):
+        probs = F.softmax(Tensor(np.array([1e4, 0.0, -1e4]))).numpy()
+        assert np.isfinite(probs).all()
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).numpy(),
+            np.log(F.softmax(logits).numpy()),
+            atol=1e-10,
+        )
+
+    def test_softmax_gradient_matches_analytic(self):
+        logits = Tensor(np.array([0.5, -0.3, 1.2]), requires_grad=True)
+        probs = F.softmax(logits)
+        probs[0].backward()
+        p = F.softmax(Tensor(logits.data)).numpy()
+        expected = p[0] * (np.eye(3)[0] - p)
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-8)
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_get_zero_probability(self):
+        logits = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        mask = np.array([True, False, True, False])
+        probs = F.masked_softmax(logits, mask).numpy()
+        assert probs[1] == pytest.approx(0.0, abs=1e-9)
+        assert probs[3] == pytest.approx(0.0, abs=1e-9)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_unmasked_reduces_to_softmax(self):
+        logits = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(
+            F.masked_softmax(logits, None).numpy(), F.softmax(logits).numpy()
+        )
+
+    def test_all_masked_returns_uniform_without_nan(self):
+        logits = Tensor(np.array([1.0, 2.0, 3.0]))
+        probs = F.masked_softmax(logits, np.zeros(3, dtype=bool)).numpy()
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs, np.full(3, 1 / 3))
+
+    def test_single_feasible_entry_gets_probability_one(self):
+        logits = Tensor(np.array([-5.0, 10.0, 3.0]))
+        mask = np.array([False, False, True])
+        probs = F.masked_softmax(logits, mask).numpy()
+        np.testing.assert_allclose(probs, [0.0, 0.0, 1.0], atol=1e-9)
+
+    @given(
+        hnp.arrays(dtype=np.float64, shape=(6,), elements=st.floats(-20, 20, allow_nan=False)),
+        hnp.arrays(dtype=np.bool_, shape=(6,)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_masked_softmax_properties(self, logits, mask):
+        probs = F.masked_softmax(Tensor(logits), mask).numpy()
+        assert np.all(probs >= -1e-12)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-6)
+        if mask.any():
+            assert probs[~mask].sum() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestLosses:
+    def test_mse_loss_zero_for_identical(self):
+        x = Tensor(np.arange(5, dtype=float))
+        assert F.mse_loss(x, Tensor(x.data.copy())).item() == pytest.approx(0.0)
+
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([3.0, 2.0]))
+        assert F.mse_loss(pred, target).item() == pytest.approx(2.0)
+
+    def test_huber_equals_mse_half_for_small_errors(self):
+        pred = Tensor(np.array([0.1, -0.2]), requires_grad=True)
+        target = Tensor(np.zeros(2))
+        huber = F.huber_loss(pred, target, delta=1.0).item()
+        assert huber == pytest.approx(0.5 * (0.01 + 0.04) / 2)
+
+    def test_huber_linear_for_large_errors(self):
+        pred = Tensor(np.array([10.0]))
+        target = Tensor(np.zeros(1))
+        assert F.huber_loss(pred, target, delta=1.0).item() == pytest.approx(9.5)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy_with_logits(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCategoricalHelpers:
+    def test_log_prob_matches_softmax(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        lp = F.categorical_log_prob(logits, np.array([2])).numpy()
+        probs = F.softmax(logits).numpy()
+        np.testing.assert_allclose(lp, np.log(probs[:, 2]), atol=1e-10)
+
+    def test_entropy_maximal_for_uniform(self):
+        uniform = Tensor(np.zeros((1, 4)))
+        peaked = Tensor(np.array([[10.0, 0.0, 0.0, 0.0]]))
+        assert F.categorical_entropy(uniform).numpy()[0] > F.categorical_entropy(peaked).numpy()[0]
+        assert F.categorical_entropy(uniform).numpy()[0] == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_entropy_with_mask_ignores_masked_entries(self):
+        logits = Tensor(np.zeros((1, 4)))
+        mask = np.array([[True, True, False, False]])
+        ent = F.categorical_entropy(logits, mask).numpy()[0]
+        assert ent == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_sample_categorical_greedy(self):
+        rng = np.random.default_rng(0)
+        assert F.sample_categorical(np.array([0.1, 0.7, 0.2]), rng, greedy=True) == 1
+
+    def test_sample_categorical_respects_zero_probability(self):
+        rng = np.random.default_rng(0)
+        probs = np.array([0.0, 1.0, 0.0])
+        samples = {F.sample_categorical(probs, rng) for _ in range(20)}
+        assert samples == {1}
+
+    def test_sample_categorical_rejects_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            F.sample_categorical(np.zeros(3), rng)
+
+
+class TestUtilities:
+    def test_explained_variance_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert F.explained_variance(y, y) == pytest.approx(1.0)
+
+    def test_explained_variance_constant_target(self):
+        assert F.explained_variance(np.array([1.0, 2.0]), np.array([3.0, 3.0])) == 0.0
+
+    def test_clip_grad_norm_scales_down(self):
+        grads = [np.array([3.0, 4.0])]
+        norm, scale = F.clip_grad_norm(grads, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(grads[0]), 1.0, atol=1e-6)
+
+    def test_clip_grad_norm_no_change_when_below(self):
+        grads = [np.array([0.3, 0.4])]
+        norm, scale = F.clip_grad_norm(grads, max_norm=1.0)
+        assert scale == 1.0
+        np.testing.assert_allclose(grads[0], [0.3, 0.4])
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ValueError):
+            F.get_activation("swishy")
+
+    def test_gelu_close_to_relu_for_large_inputs(self):
+        x = Tensor(np.array([10.0, -10.0]))
+        out = F.gelu(x).numpy()
+        np.testing.assert_allclose(out, [10.0, 0.0], atol=1e-3)
