@@ -1,0 +1,188 @@
+"""Hot-path benchmark: SoA vectorized core vs the legacy loop implementations.
+
+Times the four paths the structure-of-arrays refactor targets on a medium
+cluster — destination-mask construction, observation build, ``ClusterState.copy``
+and one PPO rollout epoch (vectorized env + batched policy forward vs a single
+env) — and emits ``BENCH_perf_hotpaths.json`` so future PRs can track the
+trajectory.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py [--smoke] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ConstraintChecker, ConstraintConfig, assign_anti_affinity_groups
+from repro.core import ModelConfig, PPOConfig
+from repro.core.policy import TwoStagePolicy
+from repro.core.ppo import PPOTrainer
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env import SyncVectorEnv, VMRescheduleEnv
+from repro.env.observation import ObservationBuilder
+
+
+def _medium_state(num_pms: int, seed: int = 0):
+    spec = ClusterSpec(
+        name="perf-medium",
+        num_pms=num_pms,
+        target_utilization=0.78,
+        best_fit_fraction=0.3,
+    )
+    state = SnapshotGenerator(spec, seed=seed).generate()
+    rng = np.random.default_rng(seed + 1)
+    groups = max(state.num_vms // 40, 1)
+    if groups * 3 <= state.num_vms:
+        assign_anti_affinity_groups(state, groups, 3, rng)
+    return state
+
+
+def _time(fn, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def _legacy_copy(state):
+    """The seed repository's per-object ``ClusterState.copy`` (reference)."""
+    from repro.cluster import ClusterState, VirtualMachine
+
+    clone = object.__new__(ClusterState)
+    clone.fragment_cores = state.fragment_cores
+    clone.pms = {pm_id: pm.copy() for pm_id, pm in state.pms.items()}
+    clone.vms = {
+        vm_id: VirtualMachine(
+            vm_id=vm.vm_id,
+            vm_type=vm.vm_type,
+            pm_id=vm.pm_id,
+            numa_id=vm.numa_id,
+            anti_affinity_group=vm.anti_affinity_group,
+        )
+        for vm_id, vm in state.vms.items()
+    }
+    clone._soa = None
+    clone._sorted_pm_ids = None
+    clone._sorted_vm_ids = None
+    return clone
+
+
+def run(smoke: bool = False, output: Path | None = None) -> dict:
+    num_pms = 10 if smoke else 60
+    # Smoke repeats are high enough that the tier-1 speedup assertions on the
+    # O(V*P) paths have margin against noisy-neighbor stalls on CI runners.
+    mask_repeats = 8 if smoke else 10
+    obs_repeats = 8 if smoke else 20
+    copy_repeats = 10 if smoke else 50
+    state = _medium_state(num_pms)
+    checker = ConstraintChecker(ConstraintConfig(migration_limit=25))
+    builder = ObservationBuilder(checker)
+    vm_ids = state.placed_vm_ids()
+    sample = vm_ids[:: max(len(vm_ids) // (5 if smoke else 40), 1)]
+
+    results: dict = {}
+
+    def record(name: str, legacy_s: float, vectorized_s: float) -> None:
+        results[name] = {
+            "legacy_s": legacy_s,
+            "vectorized_s": vectorized_s,
+            "speedup": legacy_s / vectorized_s if vectorized_s > 0 else float("inf"),
+        }
+
+    # 1. Stage-2 destination masks over a sample of VMs (+ stage-1 mask).
+    state.arrays()  # build once so the steady-state (incrementally synced) path is measured
+    record(
+        "destination_mask",
+        _time(lambda: [checker.destination_mask_reference(state, v) for v in sample], mask_repeats),
+        _time(lambda: [checker.destination_mask(state, v) for v in sample], mask_repeats),
+    )
+    # A fresh checker per call defeats the feasibility-matrix memo, so the
+    # timing reflects the per-step cost on a state that mutated since the
+    # last mask (the memo only helps the *other* consumers of one step).
+    config = checker.config
+    record(
+        "movable_vm_mask",
+        _time(lambda: checker.movable_vm_mask_reference(state), max(1, mask_repeats // 2)),
+        _time(lambda: ConstraintChecker(config).movable_vm_mask(state), mask_repeats),
+    )
+
+    # 2. Observation build (features + stage-1 mask + normalization).
+    record(
+        "observation_build",
+        _time(lambda: builder.build_reference(state, 25), max(1, obs_repeats // 4)),
+        _time(lambda: ObservationBuilder(ConstraintChecker(config)).build(state, 25), obs_repeats),
+    )
+
+    # 3. State copy (MCTS / MIP warm-start hot path).
+    record(
+        "cluster_state_copy",
+        _time(lambda: _legacy_copy(state), copy_repeats),
+        _time(lambda: state.copy(), copy_repeats),
+    )
+
+    # 4. One PPO rollout epoch: batched vectorized env vs per-env forwards.
+    # The cluster size matches the repo's "medium" analogue at default bench
+    # scale (benchmarks/common.py MEDIUM_PMS).
+    rollout_steps = 8 if smoke else 64
+    num_envs = 2 if smoke else 8
+    ppo_pms = 6 if smoke else 10
+    rollout_state = _medium_state(ppo_pms, seed=3)
+    constraint_config = ConstraintConfig(migration_limit=8)
+
+    def env_factory():
+        return VMRescheduleEnv(rollout_state.copy(), constraint_config=constraint_config, seed=0)
+
+    ppo_config = PPOConfig(
+        rollout_steps=rollout_steps, minibatch_size=rollout_steps, update_epochs=1, seed=0
+    )
+    policy = TwoStagePolicy(ModelConfig(), rng=np.random.default_rng(0))
+    rollout_repeats = 1 if smoke else 3
+    single_trainer = PPOTrainer(policy, env_factory(), ppo_config)
+    single_trainer.collect_rollout()  # warm-up
+    legacy_rollout_s = _time(lambda: single_trainer.collect_rollout(), rollout_repeats)
+    vector_trainer = PPOTrainer(
+        policy, SyncVectorEnv([env_factory for _ in range(num_envs)]), ppo_config
+    )
+    vector_trainer.collect_rollout()  # warm-up
+    vector_rollout_s = _time(lambda: vector_trainer.collect_rollout(), rollout_repeats)
+    # Both collect rollout_steps transitions; the vectorized trainer does it
+    # with rollout_steps / num_envs batched policy forwards.
+    record("ppo_rollout_epoch", legacy_rollout_s, vector_rollout_s)
+
+    payload = {
+        "benchmark": "perf_hotpaths",
+        "smoke": smoke,
+        "cluster": {"num_pms": state.num_pms, "num_vms": state.num_vms},
+        "results": results,
+    }
+    if output is not None:
+        output.write_text(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf_hotpaths.json",
+    )
+    args = parser.parse_args()
+    payload = run(smoke=args.smoke, output=args.output)
+    for name, entry in payload["results"].items():
+        print(
+            f"{name:22s} legacy {entry['legacy_s'] * 1e3:9.2f} ms   "
+            f"vectorized {entry['vectorized_s'] * 1e3:9.2f} ms   "
+            f"speedup {entry['speedup']:6.1f}x"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

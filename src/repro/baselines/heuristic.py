@@ -92,7 +92,7 @@ class FilteringHeuristic(Rescheduler):
         """Filtering stage: the VM whose removal drops the source fragment most."""
         best_vm = None
         best_drop = None
-        for vm_id in sorted(state.vms):
+        for vm_id in state.sorted_vm_ids():
             vm = state.vms[vm_id]
             if not vm.is_placed:
                 continue
@@ -122,7 +122,7 @@ class FilteringHeuristic(Rescheduler):
 
         best: Optional[_Candidate] = None
         try:
-            for pm_id in sorted(state.pms):
+            for pm_id in state.sorted_pm_ids():
                 if pm_id == source_pm and not self.constraint_config.allow_source_pm:
                     continue
                 if self.constraint_config.honor_anti_affinity and pm_id in state.conflicting_pm_ids(vm_id):

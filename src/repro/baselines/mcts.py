@@ -149,7 +149,7 @@ class MCTSRescheduler(Rescheduler):
         """Top-K (vm, pm) pairs ranked by immediate fragment reduction (pruning)."""
         limit = limit or self.candidate_actions
         scored: List[Tuple[float, Tuple[int, int]]] = []
-        for vm_id in sorted(state.vms):
+        for vm_id in state.sorted_vm_ids():
             vm = state.vms[vm_id]
             if not vm.is_placed:
                 continue

@@ -83,7 +83,7 @@ class MIPRescheduler(Rescheduler):
         return dict(self._info)
 
     def _movable_vms(self, state: ClusterState) -> List[int]:
-        vm_ids = self.candidate_vms if self.candidate_vms is not None else sorted(state.vms)
+        vm_ids = self.candidate_vms if self.candidate_vms is not None else state.sorted_vm_ids()
         return [vm_id for vm_id in vm_ids if vm_id in state.vms and state.vms[vm_id].is_placed]
 
     # ------------------------------------------------------------------ #
@@ -91,7 +91,7 @@ class MIPRescheduler(Rescheduler):
         self, state: ClusterState, movable: List[int], migration_limit: int
     ) -> Tuple[Optional[Dict[int, int]], MIPSolution]:
         x_cores = state.fragment_cores
-        pm_ids = sorted(state.pms)
+        pm_ids = state.sorted_pm_ids()
         numa_keys = [(pm_id, numa_id) for pm_id in pm_ids for numa_id in (0, 1)]
         numa_index = {key: idx for idx, key in enumerate(numa_keys)}
 

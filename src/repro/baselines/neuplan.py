@@ -88,7 +88,7 @@ class NeuPlanRescheduler(Rescheduler):
         """Pick the β VMs sitting on the most fragmented PMs."""
         pm_fragment = {pm_id: state.pm_fragment(pm_id) for pm_id in state.pms}
         scored = []
-        for vm_id in sorted(state.vms):
+        for vm_id in state.sorted_vm_ids():
             vm = state.vms[vm_id]
             if not vm.is_placed:
                 continue

@@ -46,7 +46,7 @@ class POPRescheduler(Rescheduler):
 
     def _compute(self, state: ClusterState, migration_limit: int) -> MigrationPlan:
         rng = np.random.default_rng(self.seed)
-        pm_ids = np.array(sorted(state.pms))
+        pm_ids = np.array(state.sorted_pm_ids())
         rng.shuffle(pm_ids)
         partitions: List[np.ndarray] = np.array_split(pm_ids, self.num_partitions)
 

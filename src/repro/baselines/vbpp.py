@@ -91,7 +91,7 @@ class AlphaVBPP(Rescheduler):
     def _select_victims(self, state: ClusterState, count: int) -> List[int]:
         """VMs on the most fragmented PMs whose removal helps the most."""
         scored: List[Tuple[float, int]] = []
-        for vm_id in sorted(state.vms):
+        for vm_id in state.sorted_vm_ids():
             vm = state.vms[vm_id]
             if not vm.is_placed:
                 continue
@@ -109,7 +109,7 @@ class AlphaVBPP(Rescheduler):
         vm = state.vms[vm_id]
         best_placement = None
         best_score = None
-        for pm_id in sorted(state.pms):
+        for pm_id in state.sorted_pm_ids():
             if (
                 self.constraint_config.honor_anti_affinity
                 and pm_id in state.conflicting_pm_ids(vm_id)

@@ -5,6 +5,7 @@ This subpackage models the cluster the VM rescheduling problem operates on:
 * :mod:`repro.cluster.vm_types` — VM / PM flavor catalogs (Table 1, §5.4)
 * :mod:`repro.cluster.machine` — ``VirtualMachine``, ``NumaNode``, ``PhysicalMachine``
 * :mod:`repro.cluster.state` — ``ClusterState`` placement bookkeeping
+* :mod:`repro.cluster.soa` — ``ClusterArrays`` structure-of-arrays hot-path view
 * :mod:`repro.cluster.fragmentation` — fragment-rate metrics (§1, Eq. 8)
 * :mod:`repro.cluster.constraints` — feasibility checks and masks (Eq. 2–6, §5.4)
 * :mod:`repro.cluster.migration` — migration plans and the live-migration cost model
@@ -46,6 +47,7 @@ from .migration import (
     PlanApplicationResult,
     apply_plan,
 )
+from .soa import ClusterArrays
 from .state import ClusterState, Placement
 from .vm_types import (
     DEFAULT_PM_TYPE,
@@ -59,6 +61,7 @@ from .vm_types import (
 
 __all__ = [
     "BOTH_NUMAS",
+    "ClusterArrays",
     "ClusterEvent",
     "ClusterState",
     "ConstraintChecker",

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .machine import VirtualMachine
+from .machine import FEASIBILITY_EPS, VirtualMachine
 from .state import ClusterState
 
 
@@ -65,6 +65,8 @@ class ConstraintChecker:
 
     def __init__(self, config: Optional[ConstraintConfig] = None) -> None:
         self.config = config or ConstraintConfig()
+        #: Single-entry memo for feasibility_matrix: (soa, key, matrix).
+        self._matrix_cache = None
 
     # ------------------------------------------------------------------ #
     # Single-action feasibility
@@ -102,21 +104,21 @@ class ConstraintChecker:
         pm = state.pms[dest_pm_id]
         if vm.numa_count == 2:
             for numa in pm.numas:
-                if numa.free_cpu + 1e-9 < vm.cpu_per_numa:
+                if numa.free_cpu + FEASIBILITY_EPS < vm.cpu_per_numa:
                     violations.append(
                         ConstraintViolation("cpu_capacity", f"NUMA {numa.numa_id} lacks CPU", vm_id, dest_pm_id)
                     )
-                if self.config.check_memory and numa.free_memory + 1e-9 < vm.memory_per_numa:
+                if self.config.check_memory and numa.free_memory + FEASIBILITY_EPS < vm.memory_per_numa:
                     violations.append(
                         ConstraintViolation("memory_capacity", f"NUMA {numa.numa_id} lacks memory", vm_id, dest_pm_id)
                     )
         else:
-            cpu_ok = any(numa.free_cpu + 1e-9 >= vm.cpu for numa in pm.numas)
+            cpu_ok = any(numa.free_cpu + FEASIBILITY_EPS >= vm.cpu for numa in pm.numas)
             if not cpu_ok:
                 violations.append(ConstraintViolation("cpu_capacity", "no NUMA has enough CPU", vm_id, dest_pm_id))
             if self.config.check_memory:
                 both_ok = any(
-                    numa.free_cpu + 1e-9 >= vm.cpu and numa.free_memory + 1e-9 >= vm.memory
+                    numa.free_cpu + FEASIBILITY_EPS >= vm.cpu and numa.free_memory + FEASIBILITY_EPS >= vm.memory
                     for numa in pm.numas
                 )
                 if cpu_ok and not both_ok:
@@ -131,17 +133,168 @@ class ConstraintChecker:
 
     # ------------------------------------------------------------------ #
     # Vectorized masks (the stage-2 PM mask of the two-stage framework)
+    #
+    # These operate on the structure-of-arrays view (ClusterState.arrays):
+    # capacity, NUMA-count and anti-affinity feasibility are evaluated as
+    # broadcast boolean algebra in one pass instead of nested Python loops.
+    # The original loop implementations are kept as *_reference for parity
+    # tests and benchmarking.
     # ------------------------------------------------------------------ #
+    _EPS = FEASIBILITY_EPS
+
     def destination_mask(self, state: ClusterState, vm_id: int, pm_ids: Optional[Sequence[int]] = None) -> np.ndarray:
-        """Boolean mask over PMs: True where the PM can receive ``vm_id``."""
+        """Boolean mask over PMs: True where the PM can receive ``vm_id``.
+
+        Deliberately a standalone single-row computation (O(P) vector ops +
+        O(V) group scan) rather than a gather from :meth:`feasibility_matrix`:
+        search loops call it on freshly mutated states where the memoized
+        matrix misses and a full V×P recompute per candidate would be far
+        slower.  It must stay semantically identical to a matrix row — the
+        parity tests pin all three implementations (this, the matrix, and the
+        loop reference) together.
+        """
+        soa = state.arrays()
+        vm = state.vms.get(vm_id)
+        if vm is None or not vm.is_placed:
+            size = soa.num_pms if pm_ids is None else len(list(pm_ids))
+            return np.zeros(size, dtype=bool)
+        eps = self._EPS
+        if vm.numa_count == 2:
+            mask = (
+                (soa.numa_free_cpu + eps >= vm.cpu_per_numa)
+                & (soa.numa_free_mem + eps >= vm.memory_per_numa)
+            ).all(axis=1)
+        else:
+            mask = (
+                (soa.numa_free_cpu + eps >= vm.cpu)
+                & (soa.numa_free_mem + eps >= vm.memory)
+            ).any(axis=1)
+        if self.config.honor_anti_affinity and vm.anti_affinity_group is not None:
+            group = vm.anti_affinity_group
+            for other in state.vms.values():
+                if other.vm_id != vm_id and other.is_placed and other.anti_affinity_group == group:
+                    mask[soa.pm_row[other.pm_id]] = False
+        if not self.config.allow_source_pm:
+            source_row = soa.pm_row.get(vm.pm_id)
+            if source_row is not None:
+                mask[source_row] = False
+        if pm_ids is None:
+            return mask
+        rows = np.fromiter(
+            (soa.pm_row.get(pm_id, -1) for pm_id in pm_ids), dtype=np.int64
+        )
+        gathered = np.zeros(rows.shape[0], dtype=bool)
+        known = rows >= 0
+        gathered[known] = mask[rows[known]]
+        return gathered
+
+    def feasibility_matrix(self, state: ClusterState) -> np.ndarray:
+        """Full ``(num_vms, num_pms)`` legality matrix over the sorted ids.
+
+        Row *i* equals ``destination_mask(state, sorted_vm_ids[i])``: capacity,
+        NUMA-count and anti-affinity constraints evaluated in one broadcast
+        pass; unplaced VMs get all-False rows.  Baselines and search use this
+        directly; :meth:`movable_vm_mask` is its row-wise ``any``.
+
+        The matrix is memoized against the SoA view's mutation version (and
+        the anti-affinity group assignment, which is re-read each call), so
+        the several mask consumers of one env step share one broadcast pass.
+        The public method returns a defensive copy; internal reductions use
+        :meth:`_feasibility_matrix_cached` to avoid the per-call allocation.
+        """
+        return self._feasibility_matrix_cached(state).copy()
+
+    def _feasibility_matrix_cached(self, state: ClusterState) -> np.ndarray:
+        """The memoized matrix itself — treat as read-only."""
+        soa = state.arrays()
+        vm_group = None
+        group_count = 0
+        signature = b""
+        if self.config.honor_anti_affinity:
+            vm_group, group_count = self._gather_groups(state, soa)
+            signature = vm_group.tobytes()
+        key = (soa.version, self.config.honor_anti_affinity, self.config.allow_source_pm, signature)
+        cache = self._matrix_cache
+        if cache is not None and cache[0] is soa and cache[1] == key:
+            return cache[2]
+        matrix = self._compute_feasibility_matrix(soa, vm_group, group_count)
+        self._matrix_cache = (soa, key, matrix)
+        return matrix
+
+    @staticmethod
+    def _gather_groups(state: ClusterState, soa) -> tuple:
+        """Dense anti-affinity group index per VM row (-1 = no group).
+
+        Deliberately re-read from the VM objects each call — groups may be
+        assigned after the SoA view was built.
+        """
+        group_index: Dict[int, int] = {}
+        vm_group = np.full(soa.num_vms, -1, dtype=np.int64)
+        for row, vm_id in enumerate(soa.vm_ids):
+            group = state.vms[int(vm_id)].anti_affinity_group
+            if group is not None:
+                vm_group[row] = group_index.setdefault(group, len(group_index))
+        return vm_group, len(group_index)
+
+    def _compute_feasibility_matrix(
+        self, soa, vm_group: Optional[np.ndarray], group_count: int
+    ) -> np.ndarray:
+        eps = self._EPS
+        free_cpu = soa.numa_free_cpu[None, :, :]  # (1, P, 2)
+        free_mem = soa.numa_free_mem[None, :, :]
+        fits_single = (
+            (free_cpu + eps >= soa.vm_cpu[:, None, None])
+            & (free_mem + eps >= soa.vm_mem[:, None, None])
+        ).any(axis=2)
+        fits_double = (
+            (free_cpu + eps >= soa.vm_cpu_half[:, None, None])
+            & (free_mem + eps >= soa.vm_mem_half[:, None, None])
+        ).all(axis=2)
+        matrix = np.where(soa.vm_double[:, None], fits_double, fits_single)
+
+        placed = soa.vm_pm >= 0
+        matrix[~placed] = False
+
+        if vm_group is not None and group_count:
+            counts = np.zeros((group_count, soa.num_pms), dtype=np.int64)
+            grouped_placed = (vm_group >= 0) & placed
+            np.add.at(counts, (vm_group[grouped_placed], soa.vm_pm[grouped_placed]), 1)
+            grouped = vm_group >= 0
+            conflicts = counts[vm_group[grouped]].copy()  # (Vg, P) group host counts
+            # A VM does not conflict with itself on its own source PM.
+            self_rows = grouped_placed[grouped]
+            conflicts[np.nonzero(self_rows)[0], soa.vm_pm[grouped & placed]] -= 1
+            matrix[grouped] &= conflicts == 0
+
+        if not self.config.allow_source_pm:
+            rows = np.nonzero(placed)[0]
+            matrix[rows, soa.vm_pm[rows]] = False
+        return matrix
+
+    def movable_vm_mask(self, state: ClusterState, vm_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Boolean mask over VMs: True where the VM has at least one destination."""
+        soa = state.arrays()
+        movable = self._feasibility_matrix_cached(state).any(axis=1)
+        if vm_ids is None:
+            return movable
+        rows = np.fromiter((soa.vm_row[vm_id] for vm_id in vm_ids), dtype=np.int64)
+        return movable[rows] if rows.size else np.zeros(0, dtype=bool)
+
+    # Legacy loop implementations, kept as the parity/benchmark reference. --- #
+    def destination_mask_reference(
+        self, state: ClusterState, vm_id: int, pm_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Loop-based :meth:`destination_mask` (reference implementation)."""
         pm_ids = list(pm_ids) if pm_ids is not None else sorted(state.pms)
         mask = np.zeros(len(pm_ids), dtype=bool)
         for index, pm_id in enumerate(pm_ids):
             mask[index] = self.migration_is_feasible(state, vm_id, pm_id)
         return mask
 
-    def movable_vm_mask(self, state: ClusterState, vm_ids: Optional[Sequence[int]] = None) -> np.ndarray:
-        """Boolean mask over VMs: True where the VM has at least one destination."""
+    def movable_vm_mask_reference(
+        self, state: ClusterState, vm_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Loop-based :meth:`movable_vm_mask` (reference implementation)."""
         vm_ids = list(vm_ids) if vm_ids is not None else sorted(state.vms)
         mask = np.zeros(len(vm_ids), dtype=bool)
         for index, vm_id in enumerate(vm_ids):
@@ -204,7 +357,7 @@ def assign_anti_affinity_groups(
     """
     if group_count < 0 or vms_per_group < 2:
         raise ValueError("need group_count >= 0 and vms_per_group >= 2")
-    vm_ids = np.array(sorted(state.vms), dtype=int)
+    vm_ids = np.array(state.sorted_vm_ids(), dtype=int)
     needed = group_count * vms_per_group
     if needed > len(vm_ids):
         raise ValueError(f"cannot form {group_count} groups of {vms_per_group} from {len(vm_ids)} VMs")

@@ -182,7 +182,7 @@ def best_fit_placement(state: ClusterState, vm: VirtualMachine) -> Optional[Plac
     best: Optional[Placement] = None
     best_key = None
     try:
-        for pm_id in sorted(state.pms):
+        for pm_id in state.sorted_pm_ids():
             for numa_id in state.feasible_numas(vm.vm_id, pm_id):
                 before = state.pm_fragment(pm_id)
                 state.place_vm(vm.vm_id, Placement(pm_id=pm_id, numa_id=numa_id))

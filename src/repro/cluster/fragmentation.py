@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from .machine import NumaNode, PhysicalMachine
 
 #: The default fragment granularity (16-core VMs, §1).
@@ -83,6 +85,32 @@ def memory_fragment_rate(pms: Iterable[PhysicalMachine], x_memory: float = 64.0)
         return 0.0
     fragments = sum(pm_memory_fragment(pm, x_memory) for pm in pms)
     return fragments / total_free
+
+
+# ---------------------------------------------------------------------- #
+# Array-based variants (used by ClusterState via its SoA view).  Same
+# formulas and conventions as the object-based reductions above — keep the
+# two in sync; the SoA parity tests assert they agree.
+# ---------------------------------------------------------------------- #
+def cluster_fragment_arrays(free: np.ndarray, granularity: float) -> float:
+    """Total fragment over a ``(P, 2)`` free-resource array (Eq. 1 numerator)."""
+    if granularity <= 0:
+        raise ValueError("fragment granularity must be positive")
+    return float((free % granularity).sum())
+
+
+def fragment_rate_arrays(free: np.ndarray, granularity: float) -> float:
+    """:func:`fragment_rate` over a ``(P, 2)`` free-resource array.
+
+    Applies to CPU (X-core FR) and memory (Mem64) alike; an empty cluster
+    (no free resource) has rate 0 by convention, as above.
+    """
+    if granularity <= 0:
+        raise ValueError("fragment granularity must be positive")
+    total_free = float(free.sum())
+    if total_free <= 0:
+        return 0.0
+    return float((free % granularity).sum()) / total_free
 
 
 def mixed_objective(

@@ -16,6 +16,12 @@ from .vm_types import PMType, VMType
 #: NUMA placement marker for a double-NUMA VM (occupies both NUMAs of its PM).
 BOTH_NUMAS = -1
 
+#: Shared tolerance for capacity feasibility comparisons.  Every feasibility
+#: check — object-based (``NumaNode.can_host``), the explain path, and the
+#: vectorized masks in :mod:`repro.cluster.constraints` — must use this same
+#: constant or masks and mutations disagree at exact-fit boundaries.
+FEASIBILITY_EPS = 1e-9
+
 
 @dataclass
 class VirtualMachine:
@@ -59,6 +65,17 @@ class VirtualMachine:
             return (0, 1)
         return (int(self.numa_id),)
 
+    def copy(self) -> "VirtualMachine":
+        # Direct field snapshot (no dataclass __init__): copies sit on the
+        # search/simulation hot path.  Keep in sync with the fields above.
+        clone = object.__new__(VirtualMachine)
+        clone.vm_id = self.vm_id
+        clone.vm_type = self.vm_type
+        clone.pm_id = self.pm_id
+        clone.numa_id = self.numa_id
+        clone.anti_affinity_group = self.anti_affinity_group
+        return clone
+
 
 @dataclass
 class NumaNode:
@@ -93,7 +110,7 @@ class NumaNode:
         return self.used_cpu / self.cpu_capacity
 
     def can_host(self, cpu: float, memory: float) -> bool:
-        eps = 1e-9
+        eps = FEASIBILITY_EPS
         return self.free_cpu + eps >= cpu and self.free_memory + eps >= memory
 
     def allocate(self, vm_id: int, cpu: float, memory: float) -> None:
@@ -116,15 +133,18 @@ class NumaNode:
         self.vm_ids.discard(vm_id)
 
     def copy(self) -> "NumaNode":
-        return NumaNode(
-            pm_id=self.pm_id,
-            numa_id=self.numa_id,
-            cpu_capacity=self.cpu_capacity,
-            memory_capacity=self.memory_capacity,
-            free_cpu=self.free_cpu,
-            free_memory=self.free_memory,
-            vm_ids=set(self.vm_ids),
-        )
+        # Direct field snapshot (no dataclass __init__ / __post_init__
+        # validation): copies sit on the search/simulation hot path.  Keep in
+        # sync with the fields above.
+        clone = object.__new__(NumaNode)
+        clone.pm_id = self.pm_id
+        clone.numa_id = self.numa_id
+        clone.cpu_capacity = self.cpu_capacity
+        clone.memory_capacity = self.memory_capacity
+        clone.free_cpu = self.free_cpu
+        clone.free_memory = self.free_memory
+        clone.vm_ids = set(self.vm_ids)
+        return clone
 
 
 @dataclass
@@ -177,8 +197,10 @@ class PhysicalMachine:
         return hosted
 
     def copy(self) -> "PhysicalMachine":
-        return PhysicalMachine(
-            pm_id=self.pm_id,
-            pm_type=self.pm_type,
-            numas=[numa.copy() for numa in self.numas],
-        )
+        # Direct field snapshot (no dataclass __init__ / __post_init__); keep
+        # in sync with the fields above.
+        clone = object.__new__(PhysicalMachine)
+        clone.pm_id = self.pm_id
+        clone.pm_type = self.pm_type
+        clone.numas = [numa.copy() for numa in self.numas]
+        return clone

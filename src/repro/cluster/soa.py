@@ -1,0 +1,230 @@
+"""Structure-of-arrays (SoA) view of a cluster state.
+
+The dict-of-objects representation in :mod:`repro.cluster.state` is the
+authoritative bookkeeping, but it makes the per-step hot paths — feasibility
+masks over all VMs × PMs, featurization, fragment metrics — interpreter-bound.
+:class:`ClusterArrays` mirrors the same information as contiguous numpy arrays
+so those paths become broadcast boolean algebra and sliced array ops.
+
+Layout (rows follow the *sorted* id order, the same order every mask and
+observation in this repository uses):
+
+* ``pm_ids``            — ``(P,)`` int64, sorted PM ids
+* ``numa_free_cpu``     — ``(P, 2)`` float64, free CPU per NUMA
+* ``numa_free_mem``     — ``(P, 2)`` float64, free memory per NUMA
+* ``numa_cap_cpu/mem``  — ``(P, 2)`` float64 capacities
+* ``vm_ids``            — ``(V,)`` int64, sorted VM ids
+* ``vm_cpu`` / ``vm_mem``        — ``(V,)`` full resource request
+* ``vm_cpu_half`` / ``vm_mem_half`` — ``(V,)`` per-NUMA request (request/2
+  for double-NUMA VMs, the full request otherwise; only consulted for
+  double-NUMA rows)
+* ``vm_double``         — ``(V,)`` bool, True for 2-NUMA VMs
+* ``vm_pm``             — ``(V,)`` int64 row index into the PM arrays
+  (``-1`` when unplaced)
+* ``vm_numa``           — ``(V,)`` int64 NUMA target: 0/1, ``-1`` for
+  BOTH_NUMAS, ``-2`` when unplaced
+* ``version``           — int, bumped on every placement mutation; consumers
+  (e.g. the feasibility-matrix memo) key caches on it
+
+Sync invariants
+---------------
+The view is created lazily by :meth:`ClusterState.arrays` and kept
+incrementally in sync by ``place_vm`` / ``remove_vm`` (and therefore
+``migrate_vm``).  Structural changes — ``add_vm``,
+``remove_vm_from_cluster``, or any direct mutation of the ``vms`` dict —
+invalidate the view; ``ClusterState.arrays`` detects a stale view by
+comparing machine counts and rebuilds it.  Anti-affinity group ids are *not*
+cached here: constraint code re-reads them from the VM objects on each mask
+construction, so assigning groups after the view exists stays correct.
+
+Free-resource updates replay the exact float operations of
+:meth:`NumaNode.allocate` / :meth:`NumaNode.release`, so the arrays stay
+bit-for-bit identical to the object fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+import numpy as np
+
+from .machine import BOTH_NUMAS, VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .state import ClusterState
+
+#: ``vm_numa`` marker for an unplaced VM.
+UNPLACED_NUMA = -2
+
+
+class ClusterArrays:
+    """Contiguous array mirror of one :class:`ClusterState`."""
+
+    __slots__ = (
+        "pm_ids",
+        "pm_row",
+        "numa_free_cpu",
+        "numa_free_mem",
+        "numa_cap_cpu",
+        "numa_cap_mem",
+        "vm_ids",
+        "vm_row",
+        "vm_cpu",
+        "vm_mem",
+        "vm_cpu_half",
+        "vm_mem_half",
+        "vm_double",
+        "vm_pm",
+        "vm_numa",
+        "version",
+    )
+
+    @property
+    def num_pms(self) -> int:
+        return self.pm_ids.shape[0]
+
+    @property
+    def num_vms(self) -> int:
+        return self.vm_ids.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, state: "ClusterState") -> "ClusterArrays":
+        """Materialize the SoA view from the object state."""
+        soa = object.__new__(cls)
+        soa.version = 0
+        pm_id_list = state.sorted_pm_ids()
+        vm_id_list = state.sorted_vm_ids()
+        num_pms = len(pm_id_list)
+        num_vms = len(vm_id_list)
+
+        soa.pm_ids = np.asarray(pm_id_list, dtype=np.int64)
+        # The id arrays are shared widely (observations, state copies); freeze
+        # them so an accidental write cannot corrupt every sharer's ordering.
+        soa.pm_ids.flags.writeable = False
+        soa.pm_row = {pm_id: row for row, pm_id in enumerate(pm_id_list)}
+        soa.numa_free_cpu = np.empty((num_pms, 2), dtype=np.float64)
+        soa.numa_free_mem = np.empty((num_pms, 2), dtype=np.float64)
+        soa.numa_cap_cpu = np.empty((num_pms, 2), dtype=np.float64)
+        soa.numa_cap_mem = np.empty((num_pms, 2), dtype=np.float64)
+        for row, pm_id in enumerate(pm_id_list):
+            for numa in state.pms[pm_id].numas:
+                column = numa.numa_id
+                soa.numa_free_cpu[row, column] = numa.free_cpu
+                soa.numa_free_mem[row, column] = numa.free_memory
+                soa.numa_cap_cpu[row, column] = numa.cpu_capacity
+                soa.numa_cap_mem[row, column] = numa.memory_capacity
+
+        soa.vm_ids = np.asarray(vm_id_list, dtype=np.int64)
+        soa.vm_ids.flags.writeable = False
+        soa.vm_row = {vm_id: row for row, vm_id in enumerate(vm_id_list)}
+        soa.vm_cpu = np.empty(num_vms, dtype=np.float64)
+        soa.vm_mem = np.empty(num_vms, dtype=np.float64)
+        soa.vm_cpu_half = np.empty(num_vms, dtype=np.float64)
+        soa.vm_mem_half = np.empty(num_vms, dtype=np.float64)
+        soa.vm_double = np.zeros(num_vms, dtype=bool)
+        soa.vm_pm = np.full(num_vms, -1, dtype=np.int64)
+        soa.vm_numa = np.full(num_vms, UNPLACED_NUMA, dtype=np.int64)
+        for row, vm_id in enumerate(vm_id_list):
+            vm = state.vms[vm_id]
+            soa.vm_cpu[row] = vm.cpu
+            soa.vm_mem[row] = vm.memory
+            soa.vm_cpu_half[row] = vm.cpu_per_numa
+            soa.vm_mem_half[row] = vm.memory_per_numa
+            soa.vm_double[row] = vm.numa_count == 2
+            if vm.is_placed:
+                soa.vm_pm[row] = soa.pm_row[vm.pm_id]
+                soa.vm_numa[row] = vm.numa_id
+        return soa
+
+    def copy(self) -> "ClusterArrays":
+        """O(arrays) snapshot; immutable id/capacity arrays are shared."""
+        clone = object.__new__(ClusterArrays)
+        clone.pm_ids = self.pm_ids
+        clone.pm_row = self.pm_row
+        clone.numa_cap_cpu = self.numa_cap_cpu
+        clone.numa_cap_mem = self.numa_cap_mem
+        clone.numa_free_cpu = self.numa_free_cpu.copy()
+        clone.numa_free_mem = self.numa_free_mem.copy()
+        clone.vm_ids = self.vm_ids
+        clone.vm_row = self.vm_row
+        clone.vm_cpu = self.vm_cpu
+        clone.vm_mem = self.vm_mem
+        clone.vm_cpu_half = self.vm_cpu_half
+        clone.vm_mem_half = self.vm_mem_half
+        clone.vm_double = self.vm_double
+        clone.vm_pm = self.vm_pm.copy()
+        clone.vm_numa = self.vm_numa.copy()
+        clone.version = self.version
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Incremental sync (driven by ClusterState mutations)
+    # ------------------------------------------------------------------ #
+    def apply_place(self, vm: VirtualMachine) -> bool:
+        """Mirror a successful ``place_vm``; False if the VM is unknown."""
+        row = self.vm_row.get(vm.vm_id)
+        pm_row = self.pm_row.get(vm.pm_id)
+        if row is None or pm_row is None:
+            return False
+        if vm.numa_id == BOTH_NUMAS:
+            self.numa_free_cpu[pm_row, :] -= self.vm_cpu_half[row]
+            self.numa_free_mem[pm_row, :] -= self.vm_mem_half[row]
+        else:
+            self.numa_free_cpu[pm_row, vm.numa_id] -= self.vm_cpu[row]
+            self.numa_free_mem[pm_row, vm.numa_id] -= self.vm_mem[row]
+        self.vm_pm[row] = pm_row
+        self.vm_numa[row] = vm.numa_id
+        self.version += 1
+        return True
+
+    def apply_remove(self, vm_id: int, pm_id: int, numa_id: int) -> bool:
+        """Mirror a successful ``remove_vm``; False if the VM is unknown."""
+        row = self.vm_row.get(vm_id)
+        pm_row = self.pm_row.get(pm_id)
+        if row is None or pm_row is None:
+            return False
+        # Replay NumaNode.release exactly: min(free + released, capacity).
+        if numa_id == BOTH_NUMAS:
+            np.minimum(
+                self.numa_free_cpu[pm_row, :] + self.vm_cpu_half[row],
+                self.numa_cap_cpu[pm_row, :],
+                out=self.numa_free_cpu[pm_row, :],
+            )
+            np.minimum(
+                self.numa_free_mem[pm_row, :] + self.vm_mem_half[row],
+                self.numa_cap_mem[pm_row, :],
+                out=self.numa_free_mem[pm_row, :],
+            )
+        else:
+            self.numa_free_cpu[pm_row, numa_id] = min(
+                self.numa_free_cpu[pm_row, numa_id] + self.vm_cpu[row],
+                self.numa_cap_cpu[pm_row, numa_id],
+            )
+            self.numa_free_mem[pm_row, numa_id] = min(
+                self.numa_free_mem[pm_row, numa_id] + self.vm_mem[row],
+                self.numa_cap_mem[pm_row, numa_id],
+            )
+        self.vm_pm[row] = -1
+        self.vm_numa[row] = UNPLACED_NUMA
+        self.version += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def matches(self, state: "ClusterState") -> bool:
+        """Cheap staleness probe: machine counts still line up."""
+        return self.num_vms == len(state.vms) and self.num_pms == len(state.pms)
+
+    def assert_in_sync(self, state: "ClusterState") -> None:
+        """Exact comparison against the object state (test helper)."""
+        fresh = ClusterArrays.build(state)
+        np.testing.assert_array_equal(self.pm_ids, fresh.pm_ids)
+        np.testing.assert_array_equal(self.vm_ids, fresh.vm_ids)
+        np.testing.assert_array_equal(self.numa_free_cpu, fresh.numa_free_cpu)
+        np.testing.assert_array_equal(self.numa_free_mem, fresh.numa_free_mem)
+        np.testing.assert_array_equal(self.vm_pm, fresh.vm_pm)
+        np.testing.assert_array_equal(self.vm_numa, fresh.vm_numa)

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from . import fragmentation
 from .machine import BOTH_NUMAS, NumaNode, PhysicalMachine, VirtualMachine
+from .soa import ClusterArrays
 from .vm_types import DEFAULT_PM_TYPE, PMType, VMType, VMTypeCatalog
 
 
@@ -47,6 +48,9 @@ class ClusterState:
         self.vms: Dict[int, VirtualMachine] = {vm.vm_id: vm for vm in vms}
         if len(self.vms) != len(vms):
             raise ValueError("duplicate VM ids")
+        self._soa: Optional[ClusterArrays] = None
+        self._sorted_pm_ids: Optional[List[int]] = None
+        self._sorted_vm_ids: Optional[List[int]] = None
         # Apply initial placements recorded on the VM objects.
         for vm in list(self.vms.values()):
             if vm.pm_id is not None:
@@ -71,14 +75,48 @@ class ClusterState:
     def num_vms(self) -> int:
         return len(self.vms)
 
+    def sorted_pm_ids(self) -> List[int]:
+        """Sorted PM ids, cached (the ordering every mask/featurizer uses)."""
+        cache = self._sorted_pm_ids
+        if cache is None or len(cache) != len(self.pms):
+            cache = sorted(self.pms)
+            self._sorted_pm_ids = cache
+        return cache
+
+    def sorted_vm_ids(self) -> List[int]:
+        """Sorted VM ids, cached; invalidated when VMs enter or leave."""
+        cache = self._sorted_vm_ids
+        if cache is None or len(cache) != len(self.vms):
+            cache = sorted(self.vms)
+            self._sorted_vm_ids = cache
+        return cache
+
+    def arrays(self) -> ClusterArrays:
+        """The structure-of-arrays view, built lazily and kept in sync.
+
+        Mutations through ``place_vm`` / ``remove_vm`` / ``migrate_vm`` update
+        the view incrementally; structural changes rebuild it on next access.
+        """
+        soa = self._soa
+        if soa is None or not soa.matches(self):
+            soa = ClusterArrays.build(self)
+            self._soa = soa
+        return soa
+
+    def invalidate_arrays(self) -> None:
+        """Drop the SoA view (call after out-of-band mutations)."""
+        self._soa = None
+        self._sorted_vm_ids = None
+        self._sorted_pm_ids = None
+
     def pm_list(self) -> List[PhysicalMachine]:
-        return [self.pms[pm_id] for pm_id in sorted(self.pms)]
+        return [self.pms[pm_id] for pm_id in self.sorted_pm_ids()]
 
     def vm_list(self) -> List[VirtualMachine]:
-        return [self.vms[vm_id] for vm_id in sorted(self.vms)]
+        return [self.vms[vm_id] for vm_id in self.sorted_vm_ids()]
 
     def placed_vm_ids(self) -> List[int]:
-        return [vm_id for vm_id in sorted(self.vms) if self.vms[vm_id].is_placed]
+        return [vm_id for vm_id in self.sorted_vm_ids() if self.vms[vm_id].is_placed]
 
     def vms_on_pm(self, pm_id: int) -> List[VirtualMachine]:
         return [self.vms[vm_id] for vm_id in sorted(self.pms[pm_id].vm_ids)]
@@ -147,7 +185,7 @@ class ClusterState:
         """All PMs that could receive ``vm_id`` right now."""
         vm = self.vms[vm_id]
         destinations = []
-        for pm_id in sorted(self.pms):
+        for pm_id in self.sorted_pm_ids():
             if exclude_source and vm.is_placed and pm_id == vm.pm_id:
                 continue
             if self.can_host(vm_id, pm_id, honor_affinity=honor_affinity):
@@ -204,6 +242,8 @@ class ClusterState:
             numa.allocate(vm_id, vm.cpu, vm.memory)
         vm.pm_id = placement.pm_id
         vm.numa_id = placement.numa_id
+        if self._soa is not None and not self._soa.apply_place(vm):
+            self._soa = None
 
     def remove_vm(self, vm_id: int) -> Placement:
         """Remove a placed VM from its PM; returns the vacated placement."""
@@ -219,6 +259,10 @@ class ClusterState:
             pm.numas[vm.numa_id].release(vm_id, vm.cpu, vm.memory)
         vm.pm_id = None
         vm.numa_id = None
+        if self._soa is not None and not self._soa.apply_remove(
+            vm_id, previous.pm_id, previous.numa_id
+        ):
+            self._soa = None
         return previous
 
     def migrate_vm(
@@ -258,6 +302,8 @@ class ClusterState:
         if vm.is_placed:
             self.remove_vm(vm_id)
         del self.vms[vm_id]
+        self._soa = None
+        self._sorted_vm_ids = None
 
     def add_vm(self, vm: VirtualMachine, placement: Optional[Placement] = None) -> None:
         """Add a new VM (an arrival); optionally place it immediately."""
@@ -266,6 +312,8 @@ class ClusterState:
         vm.pm_id = None
         vm.numa_id = None
         self.vms[vm.vm_id] = vm
+        self._soa = None
+        self._sorted_vm_ids = None
         if placement is not None:
             self.place_vm(vm.vm_id, placement)
 
@@ -273,39 +321,43 @@ class ClusterState:
     # Metrics
     # ------------------------------------------------------------------ #
     def fragment_rate(self, x_cores: Optional[int] = None) -> float:
-        return fragmentation.fragment_rate(self.pms.values(), x_cores or self.fragment_cores)
+        return fragmentation.fragment_rate_arrays(
+            self.arrays().numa_free_cpu, x_cores or self.fragment_cores
+        )
 
     def memory_fragment_rate(self, x_memory: float = 64.0) -> float:
-        return fragmentation.memory_fragment_rate(self.pms.values(), x_memory)
+        return fragmentation.fragment_rate_arrays(self.arrays().numa_free_mem, x_memory)
 
     def total_fragment(self, x_cores: Optional[int] = None) -> float:
-        return fragmentation.cluster_cpu_fragment(self.pms.values(), x_cores or self.fragment_cores)
+        return fragmentation.cluster_fragment_arrays(
+            self.arrays().numa_free_cpu, x_cores or self.fragment_cores
+        )
 
     def pm_fragment(self, pm_id: int, x_cores: Optional[int] = None) -> float:
         return fragmentation.pm_cpu_fragment(self.pms[pm_id], x_cores or self.fragment_cores)
 
     def cpu_utilization(self) -> float:
-        total = sum(pm.cpu_capacity for pm in self.pms.values())
-        free = sum(pm.free_cpu for pm in self.pms.values())
-        return 1.0 - free / total
+        soa = self.arrays()
+        return 1.0 - float(soa.numa_free_cpu.sum()) / float(soa.numa_cap_cpu.sum())
 
     # ------------------------------------------------------------------ #
     # Copy / serialization
     # ------------------------------------------------------------------ #
     def copy(self) -> "ClusterState":
+        """Deep copy via direct field snapshots (no dataclass init overhead).
+
+        The SoA view and the sorted-id caches are carried over to the clone —
+        search and simulation code (MCTS warm starts, plan validation) copies
+        states in hot loops, and rebuilding the arrays per copy would dominate.
+        """
         clone = object.__new__(ClusterState)
         clone.fragment_cores = self.fragment_cores
         clone.pms = {pm_id: pm.copy() for pm_id, pm in self.pms.items()}
-        clone.vms = {
-            vm_id: VirtualMachine(
-                vm_id=vm.vm_id,
-                vm_type=vm.vm_type,
-                pm_id=vm.pm_id,
-                numa_id=vm.numa_id,
-                anti_affinity_group=vm.anti_affinity_group,
-            )
-            for vm_id, vm in self.vms.items()
-        }
+        clone.vms = {vm_id: vm.copy() for vm_id, vm in self.vms.items()}
+        soa = self._soa
+        clone._soa = soa.copy() if soa is not None and soa.matches(self) else None
+        clone._sorted_pm_ids = self._sorted_pm_ids
+        clone._sorted_vm_ids = self._sorted_vm_ids
         return clone
 
     def to_dict(self) -> Dict:

@@ -80,10 +80,17 @@ class ValueHead(Module):
         self.network = MLP(2 * dim, [dim], 1, activation=config.activation, rng=rng, final_gain=1.0)
 
     def forward(self, extractor_output: ExtractorOutput) -> Tensor:
-        pm_pool = extractor_output.pm_embeddings.mean(axis=0)
-        if extractor_output.vm_embeddings.shape[0] > 0:
-            vm_pool = extractor_output.vm_embeddings.mean(axis=0)
+        """Return per-state values: shape ``(1,)`` for a single observation,
+        ``(batch,)`` for a stacked batch (3-D embeddings)."""
+        pm_embeddings = extractor_output.pm_embeddings
+        vm_embeddings = extractor_output.vm_embeddings
+        machine_axis = pm_embeddings.ndim - 2
+        pm_pool = pm_embeddings.mean(axis=machine_axis)
+        if vm_embeddings.shape[machine_axis] > 0:
+            vm_pool = vm_embeddings.mean(axis=machine_axis)
         else:
             vm_pool = Tensor(np.zeros(pm_pool.shape))
-        pooled = concatenate([pm_pool, vm_pool], axis=0).reshape(1, -1)
-        return self.network(pooled).reshape(1)
+        pooled = concatenate([pm_pool, vm_pool], axis=-1)
+        if pooled.ndim == 1:
+            pooled = pooled.reshape(1, -1)
+        return self.network(pooled).reshape(pooled.shape[0])

@@ -63,21 +63,28 @@ class _AttentionBlock(Module):
         vm_embeddings: Tensor,
         tree_mask: Optional[np.ndarray],
     ) -> Tuple[Tensor, Tensor, np.ndarray]:
-        num_pms = pm_embeddings.shape[0]
+        """Run one block.
+
+        The embeddings are ``(machines, dim)`` for a single observation or
+        ``(batch, machines, dim)`` for a stacked vectorized-env step; all ops
+        act on the trailing two axes, so both layouts share this code path.
+        """
+        num_pms = pm_embeddings.shape[-2]
+        num_vms = vm_embeddings.shape[-2]
         # Stage 1: sparse local attention within each PM tree.
-        if self.use_tree_attention and tree_mask is not None and vm_embeddings.shape[0] > 0:
-            combined = concatenate([pm_embeddings, vm_embeddings], axis=0)
+        if self.use_tree_attention and tree_mask is not None and num_vms > 0:
+            combined = concatenate([pm_embeddings, vm_embeddings], axis=-2)
             combined = self.tree_attention(combined, mask=tree_mask)
-            pm_embeddings = combined[:num_pms]
-            vm_embeddings = combined[num_pms:]
+            pm_embeddings = combined[..., :num_pms, :]
+            vm_embeddings = combined[..., num_pms:, :]
         # Stage 2: PM and VM self-attention.
         pm_embeddings = self.pm_self_attention(pm_embeddings)
-        if vm_embeddings.shape[0] > 0:
+        if num_vms > 0:
             vm_embeddings = self.vm_self_attention(vm_embeddings)
             # Stage 3: VM -> PM cross-attention.
             vm_embeddings, scores = self.cross_attention(vm_embeddings, pm_embeddings, return_weights=True)
         else:
-            scores = np.zeros((0, num_pms))
+            scores = np.zeros(pm_embeddings.shape[:-2] + (0, num_pms))
         return pm_embeddings, vm_embeddings, scores
 
 
@@ -104,7 +111,10 @@ class SparseAttentionExtractor(Module):
     def forward(self, batch: FeatureBatch) -> ExtractorOutput:
         pm_embeddings = self.pm_embed(batch.pm_features)
         vm_embeddings = self.vm_embed(batch.vm_features)
-        scores = np.zeros((batch.num_vms, batch.num_pms))
+        score_shape = (batch.num_vms, batch.num_pms)
+        if batch.batch_size is not None:
+            score_shape = (batch.batch_size,) + score_shape
+        scores = np.zeros(score_shape)
         tree_mask = batch.tree_mask if self.use_tree_attention else None
         for block in self.blocks:
             pm_embeddings, vm_embeddings, scores = block(pm_embeddings, vm_embeddings, tree_mask)
@@ -152,6 +162,8 @@ class MLPExtractor(Module):
                            activation=config.activation, rng=rng)
 
     def forward(self, batch: FeatureBatch) -> ExtractorOutput:
+        if batch.batch_size is not None:
+            raise ValueError("the MLP extractor does not support stacked batches")
         if batch.num_pms > self.max_pms or batch.num_vms > self.max_vms:
             raise ValueError(
                 f"observation with {batch.num_pms} PMs / {batch.num_vms} VMs exceeds the "

@@ -14,7 +14,7 @@ Masks are plain boolean numpy arrays — they carry no gradients.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -24,18 +24,29 @@ from ..nn import Tensor
 
 @dataclass
 class FeatureBatch:
-    """Tensors and masks for a single observation (one decision step)."""
+    """Tensors and masks for one decision step.
+
+    A batch normally holds a single observation (2-D feature tensors).  It can
+    also hold several *same-size* observations stacked along a leading batch
+    axis (one vectorized-env step): ``batch_size`` is then set, the feature
+    tensors are 3-D ``(batch, machines, features)`` and the tree mask is
+    ``(batch, seq, seq)``.  Batched attention keeps batch items independent,
+    so one extractor forward equals running each observation separately.
+    """
 
     pm_features: Tensor
     vm_features: Tensor
     #: (num_vms + num_pms) x (num_vms + num_pms) mask for tree-local attention,
-    #: ordered [PMs..., VMs...].
+    #: ordered [PMs..., VMs...]; leading batch axis when stacked.
     tree_mask: np.ndarray
-    #: (num_vms, num_pms) membership matrix (VM i hosted on PM j).
+    #: (num_vms, num_pms) membership matrix (VM i hosted on PM j); leading
+    #: batch axis when stacked.
     membership: np.ndarray
     vm_mask: np.ndarray
     num_pms: int
     num_vms: int
+    #: Number of stacked observations, or None for a single observation.
+    batch_size: Optional[int] = None
 
     @property
     def sequence_length(self) -> int:
@@ -54,6 +65,37 @@ def build_feature_batch(observation: Observation) -> FeatureBatch:
         vm_mask=observation.vm_mask.copy(),
         num_pms=observation.num_pms,
         num_vms=observation.num_vms,
+    )
+
+
+def build_stacked_feature_batch(observations: Sequence[Observation]) -> FeatureBatch:
+    """Stack same-size observations into one batched FeatureBatch.
+
+    The feature tensors gain a leading batch axis (``(batch, machines,
+    features)``) and the tree mask becomes ``(batch, seq, seq)``, so the
+    extractor's attention runs once over the whole vectorized-env step while
+    keeping batch items independent.  All observations must share one cluster
+    size — the standard vectorized-training setup; a ragged batch raises.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    sizes = {(obs.num_pms, obs.num_vms) for obs in observations}
+    if len(sizes) > 1:
+        raise ValueError(f"observations disagree on cluster size: {sorted(sizes)}")
+
+    membership = np.stack([obs.tree_membership() for obs in observations], axis=0)
+    tree_mask = np.stack(
+        [build_tree_mask(member) for member in membership], axis=0
+    )
+    return FeatureBatch(
+        pm_features=Tensor(np.stack([obs.pm_features for obs in observations], axis=0)),
+        vm_features=Tensor(np.stack([obs.vm_features for obs in observations], axis=0)),
+        tree_mask=tree_mask,
+        membership=membership,
+        vm_mask=np.stack([obs.vm_mask for obs in observations], axis=0),
+        num_pms=observations[0].num_pms,
+        num_vms=observations[0].num_vms,
+        batch_size=len(observations),
     )
 
 

@@ -20,7 +20,7 @@ in :meth:`act` via probability-quantile cutoffs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,9 +28,9 @@ from ..env.observation import Observation
 from ..nn import Linear, Module, Tensor
 from ..nn import functional as F
 from .actors import PMActor, ValueHead, VMActor
-from .attention import ExtractorOutput, build_extractor
+from .attention import ExtractorOutput, MLPExtractor, build_extractor
 from .config import ModelConfig
-from .features import FeatureBatch, build_feature_batch
+from .features import FeatureBatch, build_feature_batch, build_stacked_feature_batch
 
 
 @dataclass
@@ -139,6 +139,125 @@ class TwoStagePolicy(Module):
             pm_probs=pm_probs,
         )
 
+    def act_batch(
+        self,
+        observations: Sequence[Observation],
+        pm_mask_fns: Sequence[Callable[[int], np.ndarray]],
+        rng: np.random.Generator,
+        greedy: bool = False,
+        joint_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        vm_threshold_quantile: Optional[float] = None,
+        pm_threshold_quantile: Optional[float] = None,
+    ) -> List[PolicyOutput]:
+        """Act on several observations with ONE extractor forward pass.
+
+        Same-size observations are stacked along a leading batch axis (see
+        :func:`build_stacked_feature_batch`) and the attention stack runs once
+        over ``(batch, machines, dim)`` tensors instead of once per
+        environment; the lightweight actor heads are then evaluated per
+        observation on slices of the shared embeddings.  Falls back to
+        sequential :meth:`act` for ``full_joint`` mode, the fixed-size MLP
+        extractor, and ragged batches (observations of different sizes).
+        """
+        if len(observations) != len(pm_mask_fns):
+            raise ValueError("need one pm_mask_fn per observation")
+        sequential = self.config.action_mode == "full_joint" or not self._can_stack(
+            observations
+        )
+        if sequential:
+            joint_masks = joint_masks or [None] * len(observations)
+            return [
+                self.act(
+                    observation,
+                    pm_mask_fn=pm_mask_fn,
+                    rng=rng,
+                    greedy=greedy,
+                    joint_mask=joint_mask,
+                    vm_threshold_quantile=vm_threshold_quantile,
+                    pm_threshold_quantile=pm_threshold_quantile,
+                )
+                for observation, pm_mask_fn, joint_mask in zip(
+                    observations, pm_mask_fns, joint_masks
+                )
+            ]
+
+        batch = build_stacked_feature_batch(observations)
+        extractor_output = self.extractor(batch)
+        pm_embeddings = extractor_output.pm_embeddings  # (batch, P, dim)
+        vm_embeddings = extractor_output.vm_embeddings  # (batch, V, dim)
+        scores = extractor_output.vm_pm_scores  # (batch, V, P)
+        num_envs = len(observations)
+
+        # Critic: ValueHead handles the leading batch axis itself.
+        values = self.value_head(extractor_output)
+
+        # Stage 1: one linear pass over all VM rows, sampled per observation.
+        use_masks = self.config.action_mode == "two_stage"
+        vm_logit_rows = self.vm_actor.projection(vm_embeddings).reshape(
+            num_envs, batch.num_vms
+        )
+        vm_indices: List[int] = []
+        vm_probs_list: List[np.ndarray] = []
+        vm_entropies: List[float] = []
+        for index, observation in enumerate(observations):
+            vm_logits = vm_logit_rows[index]
+            vm_mask = observation.vm_mask if use_masks else None
+            vm_probs = F.masked_softmax(vm_logits, vm_mask).numpy()
+            vm_probs = _apply_threshold(vm_probs, vm_threshold_quantile)
+            vm_index = F.sample_categorical(vm_probs, rng, greedy=greedy)
+            vm_indices.append(vm_index)
+            vm_probs_list.append(vm_probs)
+            vm_entropies.append(
+                float(
+                    F.categorical_entropy(
+                        vm_logits.reshape(1, -1),
+                        None if vm_mask is None else vm_mask[None, :],
+                    ).numpy()[0]
+                )
+            )
+
+        # Stage 2: batch the PM decoder — each batch item's PMs attend to its
+        # own selected VM embedding in one cross-attention call.
+        selected = vm_embeddings[np.arange(num_envs), np.array(vm_indices)]
+        encoded = self.pm_actor.vm_encoder(selected).reshape(num_envs, 1, -1)
+        pm_decoded = self.pm_actor.decoder(pm_embeddings, encoded)
+        pm_logit_rows = self.pm_actor.projection(pm_decoded).reshape(
+            num_envs, batch.num_pms
+        )
+
+        outputs: List[PolicyOutput] = []
+        for index, observation in enumerate(observations):
+            pm_logits = pm_logit_rows[index]
+            if scores.size:
+                bias = Tensor(scores[index, vm_indices[index]])
+                pm_logits = pm_logits + bias * self.pm_actor.score_weight
+            pm_mask = pm_mask_fns[index](vm_indices[index]) if use_masks else None
+            pm_probs = F.masked_softmax(pm_logits, pm_mask).numpy()
+            pm_probs = _apply_threshold(pm_probs, pm_threshold_quantile)
+            pm_index = F.sample_categorical(pm_probs, rng, greedy=greedy)
+            log_prob = float(
+                np.log(vm_probs_list[index][vm_indices[index]] + 1e-12)
+                + np.log(pm_probs[pm_index] + 1e-12)
+            )
+            entropy = vm_entropies[index] + float(
+                F.categorical_entropy(
+                    pm_logits.reshape(1, -1),
+                    None if pm_mask is None else pm_mask[None, :],
+                ).numpy()[0]
+            )
+            outputs.append(
+                PolicyOutput(
+                    vm_index=vm_indices[index],
+                    pm_index=pm_index,
+                    log_prob=log_prob,
+                    entropy=entropy,
+                    value=float(values[index].item()),
+                    vm_probs=vm_probs_list[index],
+                    pm_probs=pm_probs,
+                )
+            )
+        return outputs
+
     def _act_joint(
         self,
         extractor_output: ExtractorOutput,
@@ -213,7 +332,33 @@ class TwoStagePolicy(Module):
         ).reshape(1)
         return log_prob, entropy, value
 
+    def _can_stack(self, observations: Sequence[Observation]) -> bool:
+        """Whether these observations can share one stacked extractor forward.
+
+        Single gate for every batched entry point (``act_batch``,
+        ``value_of_batch``): needs more than one observation, an extractor
+        that accepts 3-D inputs (the fixed-size MLP does not), and one common
+        cluster size.
+        """
+        return (
+            len(observations) > 1
+            and not isinstance(self.extractor, MLPExtractor)
+            and len({(o.num_pms, o.num_vms) for o in observations}) == 1
+        )
+
     def value_of(self, observation: Observation) -> float:
         """State value only (used for bootstrapping at rollout boundaries)."""
         batch = build_feature_batch(observation)
         return float(self.value_head(self.extractor(batch)).item())
+
+    def value_of_batch(self, observations: Sequence[Observation]) -> List[float]:
+        """State values for several observations with one stacked forward.
+
+        Falls back to sequential :meth:`value_of` for ragged batches and the
+        MLP extractor (mirroring :meth:`act_batch`).
+        """
+        if not self._can_stack(observations):
+            return [self.value_of(observation) for observation in observations]
+        batch = build_stacked_feature_batch(observations)
+        values = self.value_head(self.extractor(batch)).numpy()
+        return [float(value) for value in values]

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..env.vector_env import SyncVectorEnv
 from ..env.vmr_env import VMRescheduleEnv
 from ..nn import Adam, LinearSchedule, Tensor
 from ..nn import functional as F
@@ -40,17 +41,25 @@ class TrainingLogEntry:
 
 
 class PPOTrainer:
-    """Collect rollouts and optimize the policy with PPO."""
+    """Collect rollouts and optimize the policy with PPO.
+
+    ``env`` may be a single :class:`VMRescheduleEnv` or a
+    :class:`~repro.env.vector_env.SyncVectorEnv`.  With a vectorized env the
+    trainer stacks the per-env observations and calls
+    :meth:`TwoStagePolicy.act_batch`, so each collection step runs one
+    feature-extractor forward instead of one per environment.
+    """
 
     def __init__(
         self,
         policy: TwoStagePolicy,
-        env: VMRescheduleEnv,
+        env,
         config: Optional[PPOConfig] = None,
         eval_callback: Optional[Callable[[TwoStagePolicy], float]] = None,
     ) -> None:
         self.policy = policy
         self.env = env
+        self.is_vectorized = isinstance(env, SyncVectorEnv)
         self.config = config or PPOConfig()
         self.eval_callback = eval_callback
         self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
@@ -58,6 +67,7 @@ class PPOTrainer:
         self.global_step = 0
         self.history: List[TrainingLogEntry] = []
         self._observation = None
+        self._observations = None  # vectorized-env mode
         self._needs_reset = True
 
     # ------------------------------------------------------------------ #
@@ -65,6 +75,8 @@ class PPOTrainer:
     # ------------------------------------------------------------------ #
     def collect_rollout(self) -> RolloutBuffer:
         """Collect ``rollout_steps`` transitions, resetting episodes as needed."""
+        if self.is_vectorized:
+            return self._collect_rollout_vectorized()
         buffer = RolloutBuffer(self.config.rollout_steps)
         if self._needs_reset or self._observation is None:
             self._observation = self.env.reset()
@@ -116,6 +128,102 @@ class PPOTrainer:
             gamma=self.config.gamma,
             gae_lambda=self.config.gae_lambda,
             normalize=self.config.normalize_advantages,
+        )
+        return buffer
+
+    def _transitions_per_rollout(self) -> int:
+        """Transitions one collect_rollout() call actually yields.
+
+        A vectorized env collects in whole env-rows, so the per-rollout count
+        is ``(rollout_steps // num_envs) * num_envs`` (at least one row) —
+        ``train`` uses this so its update count honors ``total_steps``.
+        """
+        if not self.is_vectorized:
+            return self.config.rollout_steps
+        num_envs = self.env.num_envs
+        return max(self.config.rollout_steps // num_envs, 1) * num_envs
+
+    def _collect_rollout_vectorized(self) -> RolloutBuffer:
+        """Collect from a :class:`SyncVectorEnv` with batched policy forwards.
+
+        Per step the policy runs ONE extractor forward over the stacked
+        observations (``act_batch``) instead of one per environment.  The
+        buffer stores transitions time-major interleaved; GAE runs per env.
+        """
+        venv: SyncVectorEnv = self.env
+        num_envs = venv.num_envs
+        buffer = RolloutBuffer(self._transitions_per_rollout())
+        if self._needs_reset or self._observations is None:
+            self._observations = venv.reset()
+            self._needs_reset = False
+
+        full_joint = self.policy.config.action_mode == "full_joint"
+        two_stage = self.policy.config.action_mode == "two_stage"
+
+        def caching_mask_fn(env):
+            # Memoize per step so the stage-2 mask act_batch computes to sample
+            # the PM is reused for buffer storage instead of recomputed.
+            cache = {}
+
+            def fn(vm_index: int) -> np.ndarray:
+                mask = cache.get(vm_index)
+                if mask is None:
+                    mask = env.pm_action_mask(vm_index)
+                    cache[vm_index] = mask
+                return mask
+
+            return fn
+
+        while not buffer.full:
+            observations = self._observations
+            joint_masks = (
+                [env.joint_action_mask() for env in venv.envs] if full_joint else None
+            )
+            pm_mask_fns = [caching_mask_fn(env) for env in venv.envs]
+            outputs = self.policy.act_batch(
+                observations,
+                pm_mask_fns=pm_mask_fns,
+                rng=self.rng,
+                joint_masks=joint_masks,
+            )
+            pm_masks = [
+                pm_mask_fns[index](outputs[index].vm_index) if two_stage else None
+                for index in range(num_envs)
+            ]
+            actions = [output.action for output in outputs]
+            next_observations, rewards, dones, _ = venv.step(actions)
+            self.global_step += num_envs
+            for index, output in enumerate(outputs):
+                observation = observations[index]
+                buffer.add(
+                    Transition(
+                        observation=observation,
+                        vm_index=output.vm_index,
+                        pm_index=output.pm_index,
+                        log_prob=output.log_prob,
+                        value=output.value,
+                        reward=float(rewards[index]),
+                        done=bool(dones[index]),
+                        vm_mask=observation.vm_mask.copy() if two_stage else None,
+                        pm_mask=None if pm_masks[index] is None else pm_masks[index].copy(),
+                        joint_mask=None if joint_masks is None else joint_masks[index].copy(),
+                    )
+                )
+            self._observations = next_observations
+
+        # One stacked forward bootstraps every env; done envs bootstrap 0.
+        bootstrap = self.policy.value_of_batch(self._observations)
+        last_values = [
+            0.0 if buffer.transitions[-num_envs + index].done else bootstrap[index]
+            for index in range(num_envs)
+        ]
+        buffer.compute_advantages(
+            0.0,
+            gamma=self.config.gamma,
+            gae_lambda=self.config.gae_lambda,
+            normalize=self.config.normalize_advantages,
+            num_envs=num_envs,
+            last_values=last_values,
         )
         return buffer
 
@@ -192,7 +300,7 @@ class PPOTrainer:
         """Train until ``total_steps`` environment steps have been collected."""
         if total_steps <= 0:
             raise ValueError("total_steps must be positive")
-        num_updates = max(total_steps // self.config.rollout_steps, 1)
+        num_updates = max(total_steps // self._transitions_per_rollout(), 1)
         schedule = LinearSchedule(self.config.learning_rate, self.config.learning_rate * 0.05, num_updates)
         start = time.perf_counter()
         for update_index in range(1, num_updates + 1):

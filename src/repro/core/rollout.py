@@ -10,7 +10,7 @@ simplest correct thing to do on CPU).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -66,23 +66,40 @@ class RolloutBuffer:
         gamma: float,
         gae_lambda: float,
         normalize: bool = True,
+        num_envs: int = 1,
+        last_values: Optional[Sequence[float]] = None,
     ) -> None:
         """Fill per-transition advantages and returns using GAE(λ).
 
         ``last_value`` bootstraps the value of the state following the final
         stored transition (zero if that transition ended an episode).
+
+        With ``num_envs > 1`` the buffer is interpreted as time-major
+        interleaved vectorized-env transitions (``t0·env0, t0·env1, ...,
+        t1·env0, ...``) and GAE runs independently along each environment's
+        chain, bootstrapping env *j* from ``last_values[j]``.
         """
         if not self.transitions:
             return
-        advantage = 0.0
-        next_value = last_value
-        for transition in reversed(self.transitions):
-            next_non_terminal = 0.0 if transition.done else 1.0
-            delta = transition.reward + gamma * next_value * next_non_terminal - transition.value
-            advantage = delta + gamma * gae_lambda * next_non_terminal * advantage
-            transition.advantage = advantage
-            transition.return_ = advantage + transition.value
-            next_value = transition.value
+        if num_envs <= 0:
+            raise ValueError("num_envs must be positive")
+        if num_envs > 1 and len(self.transitions) % num_envs != 0:
+            raise ValueError(
+                f"{len(self.transitions)} transitions do not divide into {num_envs} env chains"
+            )
+        if last_values is None:
+            last_values = [last_value] * num_envs
+        for env_offset in range(num_envs):
+            advantage = 0.0
+            next_value = float(last_values[env_offset])
+            chain = self.transitions[env_offset::num_envs]
+            for transition in reversed(chain):
+                next_non_terminal = 0.0 if transition.done else 1.0
+                delta = transition.reward + gamma * next_value * next_non_terminal - transition.value
+                advantage = delta + gamma * gae_lambda * next_non_terminal * advantage
+                transition.advantage = advantage
+                transition.return_ = advantage + transition.value
+                next_value = transition.value
 
         if normalize:
             advantages = np.array([t.advantage for t in self.transitions])

@@ -59,6 +59,12 @@ class Observation:
     pm_ids: List[int]
     migrations_left: int
     extras: Dict = field(default_factory=dict)
+    #: numpy views of vm_ids / pm_ids (row i of the feature arrays corresponds
+    #: to id_array[i]); shared straight from the SoA view, so consumers can
+    #: vectorize id lookups (e.g. ``np.searchsorted``) instead of rebuilding
+    #: ``{id: index}`` dicts each step.  None when constructed by hand.
+    vm_id_array: Optional[np.ndarray] = None
+    pm_id_array: Optional[np.ndarray] = None
 
     @property
     def num_pms(self) -> int:
@@ -89,13 +95,92 @@ class ObservationBuilder:
 
     # ------------------------------------------------------------------ #
     def build(self, state: ClusterState, migrations_left: int) -> Observation:
+        """Featurize ``state`` using sliced array ops over the SoA view."""
+        soa = state.arrays()
+
+        pm_features = self._pm_features_arrays(soa)
+        vm_features, vm_source_pm = self._vm_features_arrays(soa, pm_features)
+        vm_mask = self.checker.movable_vm_mask(state)
+
+        pm_features = _min_max_normalize(pm_features)
+        vm_features = _min_max_normalize(vm_features)
+
+        return Observation(
+            pm_features=pm_features,
+            vm_features=vm_features,
+            vm_source_pm=vm_source_pm,
+            vm_mask=vm_mask,
+            vm_ids=list(state.sorted_vm_ids()),
+            pm_ids=list(state.sorted_pm_ids()),
+            migrations_left=migrations_left,
+            vm_id_array=soa.vm_ids,
+            pm_id_array=soa.pm_ids,
+        )
+
+    def pm_mask(self, state: ClusterState, vm_id: int, pm_ids: Optional[List[int]] = None) -> np.ndarray:
+        """Stage-2 feasibility mask over PMs for the selected VM."""
+        return self.checker.destination_mask(state, vm_id, pm_ids)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized featurization over the SoA view
+    # ------------------------------------------------------------------ #
+    def _pm_features_arrays(self, soa) -> np.ndarray:
+        """Array version of :meth:`_pm_features` (bit-for-bit identical)."""
+        free_cpu = soa.numa_free_cpu
+        free_mem = soa.numa_free_mem
+        x = self.fragment_cores
+        frag = free_cpu % x
+        pm_free = free_cpu.sum(axis=1)
+        pm_frag = frag.sum(axis=1)
+        pm_fr = np.divide(
+            pm_frag, pm_free, out=np.zeros_like(pm_frag), where=pm_free > 0
+        )
+        features = np.zeros((soa.num_pms, PM_FEATURE_DIM), dtype=float)
+        for numa_id in range(2):
+            offset = numa_id * PM_FEATURES_PER_NUMA
+            features[:, offset + 0] = free_cpu[:, numa_id]
+            features[:, offset + 1] = free_mem[:, numa_id]
+            features[:, offset + 2] = pm_fr
+            features[:, offset + 3] = frag[:, numa_id]
+        return features
+
+    def _vm_features_arrays(self, soa, raw_pm_features: np.ndarray) -> tuple:
+        """Array version of :meth:`_vm_features` (bit-for-bit identical)."""
+        num_vms = soa.num_vms
+        features = np.zeros((num_vms, VM_FEATURE_DIM), dtype=float)
+        x = self.fragment_cores
+        double = soa.vm_double
+        single = ~double
+        # Single-NUMA VMs put their request in their placed NUMA's slot
+        # (slot 0 when unplaced); double-NUMA VMs split evenly across both.
+        slot = np.where(soa.vm_numa >= 0, soa.vm_numa, 0)
+        rows = np.nonzero(single)[0]
+        features[rows, slot[rows]] = soa.vm_cpu[rows]
+        features[rows, 2 + slot[rows]] = soa.vm_mem[rows]
+        features[double, 0] = soa.vm_cpu_half[double]
+        features[double, 1] = soa.vm_cpu_half[double]
+        features[double, 2] = soa.vm_mem_half[double]
+        features[double, 3] = soa.vm_mem_half[double]
+        # Fragment the VM's own request leaves at the X-core granularity.
+        features[:, 4] = features[:, 0] % x
+        features[:, 5] = features[:, 1] % x
+        placed = soa.vm_pm >= 0
+        source_pm = np.where(placed, soa.vm_pm, -1).astype(int)
+        features[placed, VM_OWN_FEATURE_DIM:] = raw_pm_features[soa.vm_pm[placed]]
+        return features, source_pm
+
+    # ------------------------------------------------------------------ #
+    # Legacy loop featurization (parity/benchmark reference)
+    # ------------------------------------------------------------------ #
+    def build_reference(self, state: ClusterState, migrations_left: int) -> Observation:
+        """Loop-based :meth:`build` kept as the parity reference."""
         pm_ids = sorted(state.pms)
         vm_ids = sorted(state.vms)
         pm_index = {pm_id: index for index, pm_id in enumerate(pm_ids)}
 
         pm_features = self._pm_features(state, pm_ids)
         vm_features, vm_source_pm = self._vm_features(state, vm_ids, pm_index, pm_features)
-        vm_mask = self.checker.movable_vm_mask(state, vm_ids)
+        vm_mask = self.checker.movable_vm_mask_reference(state, vm_ids)
 
         pm_features = _min_max_normalize(pm_features)
         vm_features = _min_max_normalize(vm_features)
@@ -110,12 +195,6 @@ class ObservationBuilder:
             migrations_left=migrations_left,
         )
 
-    def pm_mask(self, state: ClusterState, vm_id: int, pm_ids: Optional[List[int]] = None) -> np.ndarray:
-        """Stage-2 feasibility mask over PMs for the selected VM."""
-        pm_ids = pm_ids if pm_ids is not None else sorted(state.pms)
-        return self.checker.destination_mask(state, vm_id, pm_ids)
-
-    # ------------------------------------------------------------------ #
     def _pm_features(self, state: ClusterState, pm_ids: List[int]) -> np.ndarray:
         features = np.zeros((len(pm_ids), PM_FEATURE_DIM), dtype=float)
         x = self.fragment_cores

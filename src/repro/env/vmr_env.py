@@ -121,8 +121,8 @@ class VMRescheduleEnv:
         if self._done or self.state is None:
             raise RuntimeError("call reset() before step()")
         vm_index, pm_index = int(action[0]), int(action[1])
-        vm_ids = sorted(self.state.vms)
-        pm_ids = sorted(self.state.pms)
+        vm_ids = self.state.sorted_vm_ids()
+        pm_ids = self.state.sorted_pm_ids()
         if not 0 <= vm_index < len(vm_ids):
             raise IndexError(f"vm_index {vm_index} out of range")
         if not 0 <= pm_index < len(pm_ids):
@@ -179,25 +179,20 @@ class VMRescheduleEnv:
     def vm_action_mask(self) -> np.ndarray:
         """Stage-1 mask: VMs that have at least one feasible destination."""
         self._require_state()
-        return self.checker.movable_vm_mask(self.state, sorted(self.state.vms))
+        return self.checker.movable_vm_mask(self.state)
 
     def pm_action_mask(self, vm_index: int) -> np.ndarray:
         """Stage-2 mask: PMs able to host the VM at ``vm_index``."""
         self._require_state()
-        vm_ids = sorted(self.state.vms)
+        vm_ids = self.state.sorted_vm_ids()
         if not 0 <= vm_index < len(vm_ids):
             raise IndexError(f"vm_index {vm_index} out of range")
-        return self.checker.destination_mask(self.state, vm_ids[vm_index], sorted(self.state.pms))
+        return self.checker.destination_mask(self.state, vm_ids[vm_index])
 
     def joint_action_mask(self) -> np.ndarray:
         """Full (num_vms, num_pms) legality matrix (used by the Full-Mask ablation)."""
         self._require_state()
-        vm_ids = sorted(self.state.vms)
-        pm_ids = sorted(self.state.pms)
-        mask = np.zeros((len(vm_ids), len(pm_ids)), dtype=bool)
-        for row, vm_id in enumerate(vm_ids):
-            mask[row] = self.checker.destination_mask(self.state, vm_id, pm_ids)
-        return mask
+        return self.checker.feasibility_matrix(self.state)
 
     # ------------------------------------------------------------------ #
     # Introspection

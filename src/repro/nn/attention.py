@@ -59,9 +59,77 @@ class MultiHeadAttention(Module):
     ):
         """Attend ``query`` over ``key``/``value``.
 
-        Inputs are 2-D ``(seq_len, embed_dim)`` tensors (the policy operates on
-        a single cluster state at a time, so there is no batch dimension).
+        Inputs are either 2-D ``(seq_len, embed_dim)`` tensors (one cluster
+        state) or 3-D ``(batch, seq_len, embed_dim)`` tensors (a vectorized-env
+        step attending every environment in one call; batch items never attend
+        across each other).  A 2-D mask is broadcast over the batch; a 3-D
+        ``(batch, query_len, key_len)`` mask is applied per batch item.
         """
+        if query.ndim == 2:
+            return self._forward_single(query, key, value, mask, return_weights)
+        if query.ndim != 3:
+            raise ValueError(f"expected 2-D or 3-D query, got shape {query.shape}")
+        batch, q_len = query.shape[0], query.shape[1]
+        k_len = key.shape[1]
+
+        q = (
+            self.q_proj(query)
+            .reshape(batch, q_len, self.num_heads, self.head_dim)
+            .transpose((0, 2, 1, 3))
+        )
+        k = (
+            self.k_proj(key)
+            .reshape(batch, k_len, self.num_heads, self.head_dim)
+            .transpose((0, 2, 1, 3))
+        )
+        v = (
+            self.v_proj(value)
+            .reshape(batch, k_len, self.num_heads, self.head_dim)
+            .transpose((0, 2, 1, 3))
+        )
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (batch, heads, q_len, k_len)
+
+        attention_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape == (q_len, k_len):
+                mask = np.broadcast_to(mask, (batch, q_len, k_len))
+            elif mask.shape != (batch, q_len, k_len):
+                raise ValueError(
+                    f"mask shape {mask.shape} does not match ({batch}, {q_len}, {k_len})"
+                )
+            attention_mask = np.broadcast_to(
+                mask[:, None, :, :], (batch, self.num_heads, q_len, k_len)
+            )
+
+        weights = F.masked_softmax(scores, attention_mask, axis=-1)
+        if mask is not None:
+            # Queries with no allowed keys should output zeros, not a uniform mix.
+            allowed = mask.any(axis=-1).astype(float)  # (batch, q_len)
+            weights = weights * Tensor(
+                np.broadcast_to(
+                    allowed[:, None, :, None], (batch, self.num_heads, q_len, k_len)
+                )
+            )
+
+        context = weights.matmul(v)  # (batch, heads, q_len, head_dim)
+        context = context.transpose((0, 2, 1, 3)).reshape(batch, q_len, self.embed_dim)
+        output = self.out_proj(context)
+        if return_weights:
+            mean_weights = weights.data.mean(axis=1)  # (batch, q_len, k_len)
+            return output, mean_weights
+        return output
+
+    def _forward_single(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: Optional[np.ndarray],
+        return_weights: bool,
+    ):
         q_len = query.shape[0]
         k_len = key.shape[0]
 

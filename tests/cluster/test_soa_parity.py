@@ -1,0 +1,266 @@
+"""Parity tests for the structure-of-arrays (SoA) hot paths.
+
+The vectorized masks, featurization, fragment metrics and ``copy`` must be
+bit-for-bit identical to the legacy loop implementations (kept as
+``*_reference`` methods) on randomized clusters, including 2-NUMA VMs and
+anti-affinity edge cases, and the incrementally-synced arrays must always
+match a fresh rebuild after arbitrary mutation sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BOTH_NUMAS,
+    ClusterArrays,
+    ClusterState,
+    ConstraintChecker,
+    ConstraintConfig,
+    Placement,
+    VirtualMachine,
+    assign_anti_affinity_groups,
+    cluster_cpu_fragment,
+    fragment_rate,
+    memory_fragment_rate,
+)
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env.observation import ObservationBuilder
+
+
+def random_state(seed: int, num_pms: int = 20, groups: int = 3) -> ClusterState:
+    spec = ClusterSpec(
+        name=f"parity-{seed}",
+        num_pms=num_pms,
+        target_utilization=0.72,
+        best_fit_fraction=0.3,
+    )
+    state = SnapshotGenerator(spec, seed=seed).generate()
+    if groups:
+        rng = np.random.default_rng(seed + 1)
+        vms_per_group = 3
+        if groups * vms_per_group <= state.num_vms:
+            assign_anti_affinity_groups(state, groups, vms_per_group, rng)
+    return state
+
+
+CONFIGS = [
+    ConstraintConfig(),
+    ConstraintConfig(allow_source_pm=True),
+    ConstraintConfig(honor_anti_affinity=False),
+]
+
+
+class TestMaskParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("config_index", range(len(CONFIGS)))
+    def test_destination_and_movable_masks(self, seed, config_index):
+        state = random_state(seed)
+        checker = ConstraintChecker(CONFIGS[config_index])
+        np.testing.assert_array_equal(
+            checker.movable_vm_mask(state), checker.movable_vm_mask_reference(state)
+        )
+        matrix = checker.feasibility_matrix(state)
+        for row, vm_id in enumerate(state.sorted_vm_ids()):
+            reference = checker.destination_mask_reference(state, vm_id)
+            np.testing.assert_array_equal(checker.destination_mask(state, vm_id), reference)
+            np.testing.assert_array_equal(matrix[row], reference)
+
+    def test_custom_pm_id_order_and_unknown_ids(self):
+        state = random_state(4)
+        checker = ConstraintChecker()
+        vm_id = state.placed_vm_ids()[0]
+        pm_ids = list(reversed(state.sorted_pm_ids())) + [10_000]
+        np.testing.assert_array_equal(
+            checker.destination_mask(state, vm_id, pm_ids),
+            checker.destination_mask_reference(state, vm_id, pm_ids),
+        )
+
+    def test_unplaced_and_missing_vm(self):
+        state = random_state(5, groups=0)
+        checker = ConstraintChecker()
+        unplaced_id = max(state.vms) + 1
+        state.add_vm(VirtualMachine(vm_id=unplaced_id, vm_type=next(iter(state.vms.values())).vm_type))
+        assert not checker.destination_mask(state, unplaced_id).any()
+        assert not checker.destination_mask(state, 999_999).any()
+        np.testing.assert_array_equal(
+            checker.movable_vm_mask(state), checker.movable_vm_mask_reference(state)
+        )
+
+    def test_vm_id_subset(self):
+        state = random_state(6)
+        checker = ConstraintChecker()
+        subset = state.sorted_vm_ids()[::3][::-1]
+        np.testing.assert_array_equal(
+            checker.movable_vm_mask(state, subset),
+            checker.movable_vm_mask_reference(state, subset),
+        )
+
+    def test_group_assigned_after_arrays_built(self):
+        """Anti-affinity groups set *after* the SoA view exists must be honored."""
+        state = random_state(7, groups=0)
+        checker = ConstraintChecker()
+        checker.movable_vm_mask(state)  # builds the SoA view
+        placed = state.placed_vm_ids()
+        state.vms[placed[0]].anti_affinity_group = 42
+        state.vms[placed[1]].anti_affinity_group = 42
+        for vm_id in (placed[0], placed[1]):
+            np.testing.assert_array_equal(
+                checker.destination_mask(state, vm_id),
+                checker.destination_mask_reference(state, vm_id),
+            )
+        np.testing.assert_array_equal(
+            checker.movable_vm_mask(state), checker.movable_vm_mask_reference(state)
+        )
+
+
+class TestFeatureParity:
+    @pytest.mark.parametrize("seed", [0, 3, 8])
+    def test_observation_matches_reference(self, seed):
+        state = random_state(seed)
+        builder = ObservationBuilder(ConstraintChecker())
+        fast = builder.build(state, migrations_left=12)
+        reference = builder.build_reference(state, migrations_left=12)
+        np.testing.assert_array_equal(fast.pm_features, reference.pm_features)
+        np.testing.assert_array_equal(fast.vm_features, reference.vm_features)
+        np.testing.assert_array_equal(fast.vm_source_pm, reference.vm_source_pm)
+        np.testing.assert_array_equal(fast.vm_mask, reference.vm_mask)
+        assert fast.vm_ids == reference.vm_ids
+        assert fast.pm_ids == reference.pm_ids
+        np.testing.assert_array_equal(fast.vm_id_array, np.array(fast.vm_ids))
+        np.testing.assert_array_equal(fast.pm_id_array, np.array(fast.pm_ids))
+
+
+class TestMetricParity:
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_fragment_metrics_match_object_reductions(self, seed):
+        state = random_state(seed)
+        pms = list(state.pms.values())
+        assert state.fragment_rate() == fragment_rate(pms, state.fragment_cores)
+        assert state.fragment_rate(64) == fragment_rate(pms, 64)
+        assert state.total_fragment() == cluster_cpu_fragment(pms, state.fragment_cores)
+        assert state.memory_fragment_rate() == memory_fragment_rate(pms, 64.0)
+        total = sum(pm.cpu_capacity for pm in pms)
+        free = sum(pm.free_cpu for pm in pms)
+        assert state.cpu_utilization() == pytest.approx(1.0 - free / total)
+
+
+class TestIncrementalSync:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_arrays_track_random_mutations(self, seed):
+        state = random_state(seed)
+        checker = ConstraintChecker()
+        rng = np.random.default_rng(seed)
+        state.arrays().assert_in_sync(state)
+        vm_type = next(iter(state.vms.values())).vm_type
+        next_id = max(state.vms) + 1
+        for step in range(60):
+            movable = checker.movable_vm_mask(state)
+            choice = rng.integers(4)
+            if choice == 0 and movable.any():
+                vm_id = state.sorted_vm_ids()[int(rng.choice(np.nonzero(movable)[0]))]
+                dest = state.sorted_pm_ids()[
+                    int(rng.choice(np.nonzero(checker.destination_mask(state, vm_id))[0]))
+                ]
+                state.migrate_vm(vm_id, dest)
+            elif choice == 1:
+                placed = state.placed_vm_ids()
+                if placed:
+                    state.remove_vm(int(rng.choice(placed)))
+            elif choice == 2:
+                state.add_vm(VirtualMachine(vm_id=next_id, vm_type=vm_type))
+                next_id += 1
+            else:
+                unplaced = [v for v in state.sorted_vm_ids() if not state.vms[v].is_placed]
+                if unplaced:
+                    state.remove_vm_from_cluster(int(rng.choice(unplaced)))
+            state.arrays().assert_in_sync(state)
+            np.testing.assert_array_equal(
+                checker.movable_vm_mask(state), checker.movable_vm_mask_reference(state)
+            )
+
+    def test_double_numa_place_remove_cycle(self):
+        state = random_state(2, groups=0)
+        doubles = [v.vm_id for v in state.vms.values() if v.numa_count == 2 and v.is_placed]
+        if not doubles:
+            pytest.skip("generator produced no placed 2-NUMA VM for this seed")
+        vm_id = doubles[0]
+        state.arrays()
+        placement = state.remove_vm(vm_id)
+        state.arrays().assert_in_sync(state)
+        assert placement.numa_id == BOTH_NUMAS
+        state.place_vm(vm_id, placement, honor_affinity=False)
+        state.arrays().assert_in_sync(state)
+
+
+class TestCopyParity:
+    def test_copy_is_deep_and_identical(self):
+        state = random_state(3)
+        state.arrays()  # ensure the SoA view is carried over
+        clone = state.copy()
+        assert clone.to_dict() == state.to_dict()
+        clone.arrays().assert_in_sync(clone)
+        checker = ConstraintChecker()
+        np.testing.assert_array_equal(
+            checker.movable_vm_mask(clone), checker.movable_vm_mask_reference(clone)
+        )
+        # Mutating the clone leaves the original untouched (and vice versa).
+        vm_id = clone.placed_vm_ids()[0]
+        mask = checker.destination_mask(clone, vm_id)
+        if mask.any():
+            dest = clone.sorted_pm_ids()[int(np.nonzero(mask)[0][0])]
+            clone.migrate_vm(vm_id, dest)
+            assert state.vms[vm_id].pm_id != clone.vms[vm_id].pm_id
+            state.arrays().assert_in_sync(state)
+            clone.arrays().assert_in_sync(clone)
+
+    def test_copy_without_arrays_built(self):
+        state = random_state(4)
+        clone = state.copy()
+        assert clone.to_dict() == state.to_dict()
+        clone.arrays().assert_in_sync(clone)
+
+
+class TestRewardParity:
+    def test_episode_rewards_match_reference_masks(self):
+        """A greedy rollout picks identical actions and rewards under both paths."""
+        from repro.env import VMRescheduleEnv
+
+        state = random_state(1)
+        env = VMRescheduleEnv(state, constraint_config=ConstraintConfig(migration_limit=6))
+        env.reset()
+        rng = np.random.default_rng(0)
+        total = 0.0
+        for _ in range(6):
+            vm_mask = env.vm_action_mask()
+            np.testing.assert_array_equal(
+                vm_mask, env.checker.movable_vm_mask_reference(env.state)
+            )
+            if not vm_mask.any():
+                break
+            vm_index = int(rng.choice(np.nonzero(vm_mask)[0]))
+            pm_mask = env.pm_action_mask(vm_index)
+            np.testing.assert_array_equal(
+                pm_mask,
+                env.checker.destination_mask_reference(
+                    env.state, env.state.sorted_vm_ids()[vm_index]
+                ),
+            )
+            if not pm_mask.any():
+                continue
+            pm_index = int(rng.choice(np.nonzero(pm_mask)[0]))
+            _, reward, done, _ = env.step((vm_index, pm_index))
+            total += reward
+            if done:
+                break
+        assert np.isfinite(total)
+
+
+def test_cluster_arrays_build_matches_state():
+    state = random_state(11)
+    soa = ClusterArrays.build(state)
+    assert soa.num_pms == state.num_pms and soa.num_vms == state.num_vms
+    for row, pm_id in enumerate(state.sorted_pm_ids()):
+        pm = state.pms[pm_id]
+        for numa in pm.numas:
+            assert soa.numa_free_cpu[row, numa.numa_id] == numa.free_cpu
+            assert soa.numa_free_mem[row, numa.numa_id] == numa.free_memory
