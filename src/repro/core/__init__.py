@@ -20,7 +20,13 @@ from .attention import (
     build_extractor,
 )
 from .config import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LConfig
-from .features import FeatureBatch, build_feature_batch, build_tree_mask, summarize_tree_sparsity
+from .features import (
+    FeatureBatch,
+    build_feature_batch,
+    build_tree_mask,
+    stack_feature_batches,
+    summarize_tree_sparsity,
+)
 from .finetune import finetune_top_layers, freeze_extractor, head_parameter_names, unfreeze_all
 from .policy import PolicyOutput, TwoStagePolicy
 from .ppo import PPOTrainer, TrainingLogEntry
@@ -64,6 +70,7 @@ __all__ = [
     "unfreeze_all",
     "risk_seeking_evaluate",
     "rollout_trajectory",
+    "stack_feature_batches",
     "summarize_tree_sparsity",
     "vm_selection_probability_histogram",
 ]

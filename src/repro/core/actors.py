@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +30,11 @@ class VMActor(Module):
         self.projection = Linear(config.embed_dim, 1, rng=rng, gain=0.01)
 
     def forward(self, extractor_output: ExtractorOutput) -> Tensor:
-        """Return logits of shape ``(num_vms,)``."""
-        logits = self.projection(extractor_output.vm_embeddings)
-        return logits.reshape(extractor_output.vm_embeddings.shape[0])
+        """Return logits: ``(num_vms,)`` for a single observation,
+        ``(batch, num_vms)`` for stacked 3-D embeddings."""
+        vm_embeddings = extractor_output.vm_embeddings
+        logits = self.projection(vm_embeddings)
+        return logits.reshape(vm_embeddings.shape[:-1])
 
 
 class PMActor(Module):
@@ -66,6 +68,39 @@ class PMActor(Module):
         scores = extractor_output.vm_pm_scores
         if scores.size:
             bias = Tensor(scores[vm_index])
+            logits = logits + bias * self.score_weight
+        return logits
+
+    def forward_batch(
+        self,
+        extractor_output: ExtractorOutput,
+        vm_indices: Sequence[int],
+    ) -> Tensor:
+        """Batched decoder over stacked embeddings: ``(batch, num_pms)`` logits.
+
+        ``extractor_output`` holds 3-D ``(batch, machines, dim)`` embeddings;
+        row *i*'s PMs cross-attend to that row's selected VM embedding
+        (``vm_indices[i]``) in one attention call, and the stage-3 score bias
+        is gathered per row.  Used by both ``act_batch`` and
+        ``evaluate_actions_batch``.
+        """
+        vm_embeddings = extractor_output.vm_embeddings
+        pm_embeddings = extractor_output.pm_embeddings
+        if vm_embeddings.ndim != 3:
+            raise ValueError("forward_batch needs stacked (batch, machines, dim) embeddings")
+        batch, num_vms = vm_embeddings.shape[0], vm_embeddings.shape[1]
+        indices = np.asarray(vm_indices, dtype=int)
+        if indices.shape != (batch,):
+            raise ValueError(f"need one vm_index per batch row, got {indices.shape}")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vms):
+            raise IndexError(f"vm_indices out of range for {num_vms} VMs")
+        rows = np.arange(batch)
+        selected = self.vm_encoder(vm_embeddings[rows, indices]).reshape(batch, 1, -1)
+        pm_decoded = self.decoder(pm_embeddings, selected)
+        logits = self.projection(pm_decoded).reshape(batch, pm_embeddings.shape[1])
+        scores = extractor_output.vm_pm_scores
+        if scores.size:
+            bias = Tensor(scores[rows, indices])
             logits = logits + bias * self.score_weight
         return logits
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..env.observation import PM_FEATURE_DIM, VM_FEATURE_DIM
 from ..nn import (
     MLP,
+    AttentionMask,
     CrossAttentionLayer,
     LayerNorm,
     Linear,
@@ -30,9 +31,10 @@ from ..nn import (
     Tensor,
     TransformerEncoderLayer,
     concatenate,
+    reference_mode_active,
 )
 from .config import ModelConfig
-from .features import FeatureBatch
+from .features import FeatureBatch, TreeGrouping
 
 
 class ExtractorOutput:
@@ -61,20 +63,28 @@ class _AttentionBlock(Module):
         self,
         pm_embeddings: Tensor,
         vm_embeddings: Tensor,
-        tree_mask: Optional[np.ndarray],
+        tree_mask: Optional[AttentionMask],
+        tree_groups: Optional["TreeGrouping"] = None,
     ) -> Tuple[Tensor, Tensor, np.ndarray]:
         """Run one block.
 
         The embeddings are ``(machines, dim)`` for a single observation or
         ``(batch, machines, dim)`` for a stacked vectorized-env step; all ops
         act on the trailing two axes, so both layouts share this code path.
+        Stacked batches pass ``tree_groups`` so stage 1 attends inside padded
+        per-tree groups instead of masking dense ``S×S`` scores.
         """
         num_pms = pm_embeddings.shape[-2]
         num_vms = vm_embeddings.shape[-2]
         # Stage 1: sparse local attention within each PM tree.
-        if self.use_tree_attention and tree_mask is not None and num_vms > 0:
+        if self.use_tree_attention and num_vms > 0 and (
+            tree_mask is not None or tree_groups is not None
+        ):
             combined = concatenate([pm_embeddings, vm_embeddings], axis=-2)
-            combined = self.tree_attention(combined, mask=tree_mask)
+            if tree_groups is not None:
+                combined = tree_groups.apply(self.tree_attention, combined)
+            else:
+                combined = self.tree_attention(combined, mask=tree_mask)
             pm_embeddings = combined[..., :num_pms, :]
             vm_embeddings = combined[..., num_pms:, :]
         # Stage 2: PM and VM self-attention.
@@ -115,9 +125,21 @@ class SparseAttentionExtractor(Module):
         if batch.batch_size is not None:
             score_shape = (batch.batch_size,) + score_shape
         scores = np.zeros(score_shape)
-        tree_mask = batch.tree_mask if self.use_tree_attention else None
+        # Stacked batches attend tree-locally inside padded per-tree groups
+        # (cached on the FeatureBatch); single observations use the dense mask
+        # wrapped ONCE per forward so every block (and every head inside it)
+        # reuses the same precomputed additive bias.
+        tree_mask = None
+        tree_groups = None
+        if self.use_tree_attention and batch.num_vms:
+            if not reference_mode_active():
+                tree_groups = batch.tree_grouping()
+            if tree_groups is None:
+                tree_mask = AttentionMask(batch.tree_mask)
         for block in self.blocks:
-            pm_embeddings, vm_embeddings, scores = block(pm_embeddings, vm_embeddings, tree_mask)
+            pm_embeddings, vm_embeddings, scores = block(
+                pm_embeddings, vm_embeddings, tree_mask, tree_groups
+            )
         return ExtractorOutput(
             vm_embeddings=self.final_norm_vm(vm_embeddings) if batch.num_vms else vm_embeddings,
             pm_embeddings=self.final_norm_pm(pm_embeddings),

@@ -56,6 +56,11 @@ class PPOConfig:
     anneal_lr: bool = True
     normalize_advantages: bool = True
     target_kl: Optional[float] = None
+    #: Evaluate each minibatch with one stacked extractor forward
+    #: (``TwoStagePolicy.evaluate_actions_batch``) instead of one forward per
+    #: stored transition.  False keeps the per-transition reference path used
+    #: by parity tests and benchmarks.
+    batched_updates: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

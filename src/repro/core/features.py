@@ -13,13 +13,13 @@ Masks are plain boolean numpy arrays — they carry no gradients.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..env.observation import Observation
-from ..nn import Tensor
+from ..nn import AttentionMask, Module, Tensor, concatenate
 
 
 @dataclass
@@ -47,10 +47,45 @@ class FeatureBatch:
     num_vms: int
     #: Number of stacked observations, or None for a single observation.
     batch_size: Optional[int] = None
+    #: Lazily-built grouped layout for sparse tree attention (stacked batches).
+    _tree_grouping: Optional["TreeGrouping"] = field(default=None, repr=False)
+    #: Per-row tree layouts: cached on single-observation batches (the host
+    #: assignment is fixed once collected) and carried over by
+    #: :func:`stack_feature_batches` so regrouping a minibatch only offsets
+    #: and buckets instead of re-deriving trees from the membership matrix.
+    _tree_layouts: Optional[list] = field(default=None, repr=False)
 
     @property
     def sequence_length(self) -> int:
         return self.num_pms + self.num_vms
+
+    def tree_layout(self) -> list:
+        """Per-tree local position arrays for a single observation (cached)."""
+        if self.batch_size is not None:
+            raise ValueError("tree_layout is per single observation; use tree_grouping")
+        if self._tree_layouts is None:
+            self._tree_layouts = [_row_tree_layout(self.membership, self.num_pms)]
+        return self._tree_layouts[0]
+
+    def tree_grouping(self) -> Optional["TreeGrouping"]:
+        """Grouped per-tree layout for the sparse tree-attention stage.
+
+        Built lazily and cached on the batch, so every extractor block (and
+        every epoch revisiting a cached stacked minibatch) reuses one
+        grouping.  Only stacked (3-D) batches with VMs group; single
+        observations keep the dense reference path.
+        """
+        if self.batch_size is None or self.num_vms == 0:
+            return None
+        if self._tree_grouping is None:
+            if self._tree_layouts is None:
+                self._tree_layouts = [
+                    _row_tree_layout(member, self.num_pms) for member in self.membership
+                ]
+            self._tree_grouping = _grouping_from_layouts(
+                self._tree_layouts, self.sequence_length
+            )
+        return self._tree_grouping
 
 
 def build_feature_batch(observation: Observation) -> FeatureBatch:
@@ -96,6 +131,196 @@ def build_stacked_feature_batch(observations: Sequence[Observation]) -> FeatureB
         num_pms=observations[0].num_pms,
         num_vms=observations[0].num_vms,
         batch_size=len(observations),
+    )
+
+
+class TreeBucket:
+    """One padded size-class of trees: gather indices plus the padding mask."""
+
+    __slots__ = ("members", "valid", "attention_mask")
+
+    def __init__(self, members: np.ndarray, valid: np.ndarray) -> None:
+        self.members = members  # (groups, size) flat sequence positions
+        self.valid = valid  # (groups, size) real-member indicator
+        self.attention_mask = AttentionMask(valid[:, :, None] & valid[:, None, :])
+
+
+class TreeGrouping:
+    """Padded per-tree layout exploiting the block structure of the tree mask.
+
+    The tree mask partitions the combined [PMs..., VMs...] sequence of every
+    batch row into disjoint trees — a PM with its hosted VMs, or an unplaced
+    VM alone — and attention within a tree is *full*.  Tree-local attention is
+    therefore exactly equivalent to running the layer over padded
+    ``(num_trees, tree_size)`` groups: gather each tree's members, attend
+    inside the (tiny) tree under a padding mask, scatter back.  The dense path
+    computes ``O(S²)`` scores per row; the grouped path ``O(Σ tree_size²)`` —
+    typically an order of magnitude less.  Trees are split into at most two
+    size-class buckets (chosen to minimize padded score area), so one oversize
+    tree does not inflate the padding of every small one.
+
+    Exactness invariants: trees are disjoint and ordered [PM, VMs ascending],
+    matching the dense row order, padding keys are excluded by the additive
+    bias (exactly zero weight and gradient), and padded slots gather position
+    0 but receive exactly zero gradient because nothing reads them back.
+    """
+
+    __slots__ = ("buckets", "inverse")
+
+    def __init__(self, buckets: Sequence[TreeBucket], inverse: np.ndarray) -> None:
+        self.buckets = list(buckets)
+        self.inverse = inverse  # (batch * seq,) slot in the concatenated layout
+
+    def apply(self, layer: Module, combined: Tensor) -> Tensor:
+        """Run an encoder ``layer`` tree-locally over ``(batch, seq, dim)``."""
+        batch, seq, dim = combined.shape
+        flat = combined.reshape(batch * seq, dim)
+        outputs = []
+        for bucket in self.buckets:
+            groups, size = bucket.members.shape
+            grouped = _gather_rows(
+                flat, bucket.members.reshape(-1), bucket.valid.reshape(-1)
+            ).reshape(groups, size, dim)
+            outputs.append(layer(grouped, mask=bucket.attention_mask).reshape(groups * size, dim))
+        stacked = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=0)
+        return _gather_rows(stacked, self.inverse).reshape(batch, seq, dim)
+
+
+def _gather_rows(
+    source: Tensor, indices: np.ndarray, valid: Optional[np.ndarray] = None
+) -> Tensor:
+    """Row gather whose backward is a direct (unbuffered) scatter assignment.
+
+    Requires the grouping invariant that each source row is referenced by at
+    most one *valid* slot: with ``valid`` given, invalid (padding) slots may
+    duplicate rows but are guaranteed to carry exactly zero gradient, so the
+    backward assigns only the valid slots' gradients; with ``valid`` omitted
+    the indices themselves must be unique (the inverse scatter).  Either way
+    the generic ``np.add.at`` element-wise scatter — by far the slowest part
+    of a fancy-index backward — is avoided.
+    """
+    out_data = source.data[indices]
+    if not source.requires_grad:
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(source.data)
+        if valid is None:
+            full[indices] = grad
+        else:
+            full[indices[valid]] = grad[valid]
+        source._accumulate(full)
+
+    return Tensor(out_data, requires_grad=True, parents=(source,), backward=backward)
+
+
+def _pad_bucket(groups: Sequence[np.ndarray], size: int) -> TreeBucket:
+    members = np.zeros((len(groups), size), dtype=np.intp)
+    valid = np.zeros((len(groups), size), dtype=bool)
+    for index, group in enumerate(groups):
+        members[index, : len(group)] = group
+        valid[index, : len(group)] = True
+    return TreeBucket(members=members, valid=valid)
+
+
+def _row_tree_layout(membership: np.ndarray, num_pms: int) -> list:
+    """Per-tree arrays of *local* sequence positions for one observation.
+
+    Each array lists one tree's members in dense row order — the PM first,
+    then its hosted VMs ascending — followed by singleton trees for unplaced
+    VMs.  Cached per transition (the host assignment never changes after
+    collection); stacking into a minibatch only adds row offsets.
+    """
+    placed = membership.any(axis=1)
+    host = np.where(placed, np.argmax(membership, axis=1), num_pms)
+    order = np.argsort(host, kind="stable")  # VMs ascending within each host
+    sorted_host = host[order]
+    bounds = np.searchsorted(sorted_host, np.arange(num_pms + 1))
+    counts = bounds[1:] - bounds[:-1]
+    # PM trees, filled without a per-group python loop: slot 0 is the PM,
+    # each hosted VM lands at 1 + its rank within the host.
+    row_members = np.zeros((num_pms, int(counts.max(initial=0)) + 1), dtype=np.intp)
+    row_members[:, 0] = np.arange(num_pms)
+    hosted = order[: bounds[num_pms]]
+    hosts = sorted_host[: bounds[num_pms]]
+    ranks = np.arange(hosted.size) - np.repeat(bounds[:-1], counts)
+    row_members[hosts, 1 + ranks] = num_pms + hosted
+    layout = [row_members[pm, : counts[pm] + 1] for pm in range(num_pms)]
+    # Unplaced VMs: singleton trees.
+    layout.extend(np.array([num_pms + vm]) for vm in order[bounds[num_pms] :])
+    return layout
+
+
+def build_tree_grouping(membership: np.ndarray, num_pms: int, num_vms: int) -> TreeGrouping:
+    """Build the grouped layout from a stacked ``(batch, V, P)`` membership."""
+    if membership.ndim != 3:
+        raise ValueError("tree grouping needs a stacked (batch, V, P) membership")
+    layouts = [_row_tree_layout(member, num_pms) for member in membership]
+    return _grouping_from_layouts(layouts, num_pms + num_vms)
+
+
+def _grouping_from_layouts(layouts: Sequence[list], seq: int) -> TreeGrouping:
+    """Offset cached per-row layouts into one flat grouping and bucket it."""
+    groups = [
+        group + row * seq for row, layout in enumerate(layouts) for group in layout
+    ]
+
+    # Split into ≤2 size buckets at the cut minimizing padded score area.
+    sizes = np.array([group.size for group in groups])
+    unique_sizes = np.unique(sizes)
+    largest = int(unique_sizes[-1])
+    best_area, split = len(groups) * largest * largest, None
+    for cut in unique_sizes[:-1]:
+        small = int((sizes <= cut).sum())
+        area = small * int(cut) ** 2 + (len(groups) - small) * largest * largest
+        if area < best_area:
+            best_area, split = area, int(cut)
+    if split is None:
+        buckets = [_pad_bucket(groups, largest)]
+    else:
+        buckets = [
+            _pad_bucket([g for g in groups if g.size <= split], split),
+            _pad_bucket([g for g in groups if g.size > split], largest),
+        ]
+
+    inverse = np.empty(len(layouts) * seq, dtype=np.intp)
+    offset = 0
+    for bucket in buckets:
+        inverse[bucket.members[bucket.valid]] = offset + np.flatnonzero(bucket.valid.reshape(-1))
+        offset += bucket.members.size
+    return TreeGrouping(buckets=buckets, inverse=inverse)
+
+
+def stack_feature_batches(batches: Sequence[FeatureBatch]) -> FeatureBatch:
+    """Stack already-built single-observation batches along a new batch axis.
+
+    The PPO update caches one :class:`FeatureBatch` per stored transition
+    (featurization and tree-mask construction happen once per rollout); each
+    minibatch then stacks the cached arrays here — a plain ``np.stack`` per
+    field — instead of re-deriving masks from the observations every
+    epoch × minibatch.  All batches must be single-observation (2-D) and share
+    one cluster size.
+    """
+    if not batches:
+        raise ValueError("need at least one feature batch")
+    if any(batch.batch_size is not None for batch in batches):
+        raise ValueError("can only stack single-observation feature batches")
+    sizes = {(batch.num_pms, batch.num_vms) for batch in batches}
+    if len(sizes) > 1:
+        raise ValueError(f"feature batches disagree on cluster size: {sorted(sizes)}")
+    # Carry the cached per-row tree layouts (built once per transition) so
+    # the minibatch grouping only offsets and buckets them.
+    layouts = [batch.tree_layout() for batch in batches] if batches[0].num_vms else None
+    return FeatureBatch(
+        pm_features=Tensor(np.stack([b.pm_features.data for b in batches], axis=0)),
+        vm_features=Tensor(np.stack([b.vm_features.data for b in batches], axis=0)),
+        tree_mask=np.stack([b.tree_mask for b in batches], axis=0),
+        membership=np.stack([b.membership for b in batches], axis=0),
+        vm_mask=np.stack([b.vm_mask for b in batches], axis=0),
+        num_pms=batches[0].num_pms,
+        num_vms=batches[0].num_vms,
+        batch_size=len(batches),
+        _tree_layouts=layouts,
     )
 
 

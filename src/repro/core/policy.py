@@ -25,12 +25,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..env.observation import Observation
-from ..nn import Linear, Module, Tensor
+from ..nn import Linear, Module, Tensor, concatenate
 from ..nn import functional as F
 from .actors import PMActor, ValueHead, VMActor
 from .attention import ExtractorOutput, MLPExtractor, build_extractor
 from .config import ModelConfig
-from .features import FeatureBatch, build_feature_batch, build_stacked_feature_batch
+from .features import (
+    FeatureBatch,
+    build_feature_batch,
+    build_stacked_feature_batch,
+    stack_feature_batches,
+)
 
 
 @dataclass
@@ -51,17 +56,36 @@ class PolicyOutput:
 
 
 def _apply_threshold(probs: np.ndarray, quantile: Optional[float]) -> np.ndarray:
-    """Zero out entries whose probability falls below the given quantile (§3.4)."""
+    """Zero out entries whose probability falls below the given quantile (§3.4).
+
+    The cutoff is computed over the *positive* entries only: masked actions
+    carry exactly zero probability and would otherwise drag the quantile to
+    zero, turning the risk-seeking threshold into a no-op whenever more than
+    ``quantile`` of the actions are infeasible.
+    """
     if quantile is None:
         return probs
     positive = probs[probs > 0]
     if positive.size <= 1:
         return probs
-    cutoff = np.quantile(probs, quantile)
+    cutoff = np.quantile(positive, quantile)
     thresholded = np.where(probs >= cutoff, probs, 0.0)
     if thresholded.sum() <= 0:
         return probs
     return thresholded / thresholded.sum()
+
+
+def _homogeneous(masks: Sequence[Optional[np.ndarray]]) -> bool:
+    """Whether a mask column can be stacked: all present or all absent."""
+    has_mask = [mask is not None for mask in masks]
+    return all(has_mask) or not any(has_mask)
+
+
+def _stack_masks(masks: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+    """Stack a homogeneous mask column into ``(batch, n)`` (or None)."""
+    if masks[0] is None:
+        return None
+    return np.stack([np.asarray(mask, dtype=bool) for mask in masks], axis=0)
 
 
 class TwoStagePolicy(Module):
@@ -183,19 +207,14 @@ class TwoStagePolicy(Module):
 
         batch = build_stacked_feature_batch(observations)
         extractor_output = self.extractor(batch)
-        pm_embeddings = extractor_output.pm_embeddings  # (batch, P, dim)
-        vm_embeddings = extractor_output.vm_embeddings  # (batch, V, dim)
-        scores = extractor_output.vm_pm_scores  # (batch, V, P)
         num_envs = len(observations)
 
         # Critic: ValueHead handles the leading batch axis itself.
         values = self.value_head(extractor_output)
 
-        # Stage 1: one linear pass over all VM rows, sampled per observation.
+        # Stage 1: one batched VM-actor forward, sampled per observation.
         use_masks = self.config.action_mode == "two_stage"
-        vm_logit_rows = self.vm_actor.projection(vm_embeddings).reshape(
-            num_envs, batch.num_vms
-        )
+        vm_logit_rows = self.vm_actor(extractor_output)  # (batch, V)
         vm_indices: List[int] = []
         vm_probs_list: List[np.ndarray] = []
         vm_entropies: List[float] = []
@@ -216,21 +235,14 @@ class TwoStagePolicy(Module):
                 )
             )
 
-        # Stage 2: batch the PM decoder — each batch item's PMs attend to its
-        # own selected VM embedding in one cross-attention call.
-        selected = vm_embeddings[np.arange(num_envs), np.array(vm_indices)]
-        encoded = self.pm_actor.vm_encoder(selected).reshape(num_envs, 1, -1)
-        pm_decoded = self.pm_actor.decoder(pm_embeddings, encoded)
-        pm_logit_rows = self.pm_actor.projection(pm_decoded).reshape(
-            num_envs, batch.num_pms
-        )
+        # Stage 2: the PM decoder runs batched inside PMActor — each row's PMs
+        # cross-attend to that row's selected VM embedding, and the stage-3
+        # score bias is gathered per row.
+        pm_logit_rows = self.pm_actor.forward_batch(extractor_output, vm_indices)
 
         outputs: List[PolicyOutput] = []
         for index, observation in enumerate(observations):
             pm_logits = pm_logit_rows[index]
-            if scores.size:
-                bias = Tensor(scores[index, vm_indices[index]])
-                pm_logits = pm_logits + bias * self.pm_actor.score_weight
             pm_mask = pm_mask_fns[index](vm_indices[index]) if use_masks else None
             pm_probs = F.masked_softmax(pm_logits, pm_mask).numpy()
             pm_probs = _apply_threshold(pm_probs, pm_threshold_quantile)
@@ -302,9 +314,14 @@ class TwoStagePolicy(Module):
         vm_mask: Optional[np.ndarray],
         pm_mask: Optional[np.ndarray],
         joint_mask: Optional[np.ndarray] = None,
+        feature_batch: Optional[FeatureBatch] = None,
     ) -> Tuple[Tensor, Tensor, Tensor]:
-        """Return differentiable (log_prob, entropy, value) of a stored action."""
-        batch = build_feature_batch(observation)
+        """Return differentiable (log_prob, entropy, value) of a stored action.
+
+        ``feature_batch`` lets callers reuse a cached featurization of the
+        observation (the rollout buffer builds each one once per rollout).
+        """
+        batch = feature_batch if feature_batch is not None else build_feature_batch(observation)
         extractor_output = self.extractor(batch)
         value = self.value_head(extractor_output)
 
@@ -331,6 +348,88 @@ class TwoStagePolicy(Module):
             F.categorical_entropy(vm_logits, vm_mask_batch) + F.categorical_entropy(pm_logits, pm_mask_batch)
         ).reshape(1)
         return log_prob, entropy, value
+
+    def evaluate_actions_batch(
+        self,
+        observations: Sequence[Observation],
+        vm_indices: Sequence[int],
+        pm_indices: Sequence[int],
+        vm_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        pm_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        joint_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        feature_batches: Optional[Sequence[FeatureBatch]] = None,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Differentiable ``(batch,)``-shaped log-probs, entropies and values.
+
+        The minibatch runs through ONE stacked extractor forward plus batched
+        actor heads whenever the observations stack (same cluster size, an
+        attention extractor, ``two_stage``/``penalty`` mode and homogeneous
+        masks).  Otherwise — ragged minibatches, the fixed-size MLP extractor,
+        ``full_joint`` mode — it falls back to per-transition
+        :meth:`evaluate_actions` calls and concatenates the results, so the
+        return shape is identical either way and the PPO update can always
+        compute its losses as single tensor expressions with one backward.
+
+        ``feature_batches`` passes cached per-transition featurizations (see
+        :meth:`RolloutBuffer.feature_batch`) used by both paths.
+        """
+        count = len(observations)
+        if count == 0:
+            raise ValueError("need at least one observation")
+        for name, seq in (("vm_indices", vm_indices), ("pm_indices", pm_indices)):
+            if len(seq) != count:
+                raise ValueError(f"{name} length {len(seq)} != {count} observations")
+        vm_masks = list(vm_masks) if vm_masks is not None else [None] * count
+        pm_masks = list(pm_masks) if pm_masks is not None else [None] * count
+        joint_masks = list(joint_masks) if joint_masks is not None else [None] * count
+        if feature_batches is not None and len(feature_batches) != count:
+            raise ValueError("need one feature batch per observation")
+
+        batched = (
+            self.config.action_mode != "full_joint"
+            and self._can_stack(observations)
+            and _homogeneous(vm_masks)
+            and _homogeneous(pm_masks)
+        )
+        if not batched:
+            results = [
+                self.evaluate_actions(
+                    observations[index],
+                    vm_indices[index],
+                    pm_indices[index],
+                    vm_masks[index],
+                    pm_masks[index],
+                    joint_masks[index],
+                    feature_batch=None if feature_batches is None else feature_batches[index],
+                )
+                for index in range(count)
+            ]
+            return (
+                concatenate([log_prob for log_prob, _, _ in results]),
+                concatenate([entropy for _, entropy, _ in results]),
+                concatenate([value for _, _, value in results]),
+            )
+
+        if feature_batches is not None:
+            batch = stack_feature_batches(feature_batches)
+        else:
+            batch = build_stacked_feature_batch(observations)
+        extractor_output = self.extractor(batch)
+        values = self.value_head(extractor_output)  # (batch,)
+        vm_logits = self.vm_actor(extractor_output)  # (batch, V)
+        pm_logits = self.pm_actor.forward_batch(extractor_output, vm_indices)  # (batch, P)
+
+        vm_mask_rows = _stack_masks(vm_masks)
+        pm_mask_rows = _stack_masks(pm_masks)
+        vm_actions = np.asarray(vm_indices, dtype=int)
+        pm_actions = np.asarray(pm_indices, dtype=int)
+        log_probs = F.categorical_log_prob(vm_logits, vm_actions, vm_mask_rows) + (
+            F.categorical_log_prob(pm_logits, pm_actions, pm_mask_rows)
+        )
+        entropies = F.categorical_entropy(vm_logits, vm_mask_rows) + (
+            F.categorical_entropy(pm_logits, pm_mask_rows)
+        )
+        return log_probs.reshape(count), entropies.reshape(count), values.reshape(count)
 
     def _can_stack(self, observations: Sequence[Observation]) -> bool:
         """Whether these observations can share one stacked extractor forward.

@@ -231,7 +231,16 @@ class PPOTrainer:
     # Optimization
     # ------------------------------------------------------------------ #
     def update(self, buffer: RolloutBuffer) -> Dict[str, float]:
-        """Run the clipped-PPO update over the collected rollout."""
+        """Run the clipped-PPO update over the collected rollout.
+
+        With ``config.batched_updates`` (the default) every minibatch is
+        evaluated through :meth:`TwoStagePolicy.evaluate_actions_batch` — one
+        stacked extractor forward over cached per-transition featurizations —
+        and the clipped surrogate, value loss and entropy bonus are single
+        tensor expressions over the minibatch with one ``backward()`` call.
+        ``batched_updates=False`` keeps the per-transition reference loop
+        (identical math; pinned by the parity tests).
+        """
         config = self.config
         policy_losses, value_losses, entropies, kls = [], [], [], []
         stop = False
@@ -239,50 +248,18 @@ class PPOTrainer:
             if stop:
                 break
             for indices in buffer.minibatch_indices(config.minibatch_size, self.rng):
-                losses = []
-                batch_kl = []
-                self.optimizer.zero_grad()
-                for index in indices:
-                    transition = buffer.transitions[index]
-                    log_prob, entropy, value = self.policy.evaluate_actions(
-                        transition.observation,
-                        transition.vm_index,
-                        transition.pm_index,
-                        transition.vm_mask,
-                        transition.pm_mask,
-                        transition.joint_mask,
-                    )
-                    old_log_prob = Tensor(np.array([transition.log_prob]))
-                    ratio = (log_prob - old_log_prob).exp()
-                    advantage = float(transition.advantage)
-                    surrogate1 = ratio * advantage
-                    surrogate2 = ratio.clip(1.0 - config.clip_coef, 1.0 + config.clip_coef) * advantage
-                    policy_loss = -F.where(
-                        surrogate1.numpy() <= surrogate2.numpy(), surrogate1, surrogate2
-                    ).sum()
-                    target = Tensor(np.array([transition.return_]))
-                    value_loss = ((value - target) ** 2).sum()
-                    loss = (
-                        policy_loss
-                        + config.value_coef * value_loss
-                        - config.entropy_coef * entropy.sum()
-                    )
-                    losses.append(loss)
-                    policy_losses.append(float(policy_loss.item()))
-                    value_losses.append(float(value_loss.item()))
-                    entropies.append(float(entropy.numpy().sum()))
-                    approx_kl = float(transition.log_prob - log_prob.item())
-                    batch_kl.append(approx_kl)
-                    kls.append(approx_kl)
-                if not losses:
+                if indices.size == 0:
                     continue
-                total = losses[0]
-                for extra in losses[1:]:
-                    total = total + extra
-                total = total / float(len(losses))
-                total.backward()
+                self.optimizer.zero_grad()
+                if config.batched_updates:
+                    batch_kl = self._minibatch_step_batched(buffer, indices, policy_losses,
+                                                            value_losses, entropies)
+                else:
+                    batch_kl = self._minibatch_step_loop(buffer, indices, policy_losses,
+                                                         value_losses, entropies)
                 self.optimizer.clip_gradients(config.max_grad_norm)
                 self.optimizer.step()
+                kls.extend(batch_kl)
                 if config.target_kl is not None and np.mean(np.abs(batch_kl)) > config.target_kl:
                     stop = True
                     break
@@ -292,6 +269,94 @@ class PPOTrainer:
             "entropy": float(np.mean(entropies)) if entropies else 0.0,
             "approx_kl": float(np.mean(np.abs(kls))) if kls else 0.0,
         }
+
+    def _minibatch_step_batched(
+        self,
+        buffer: RolloutBuffer,
+        indices: np.ndarray,
+        policy_losses: List[float],
+        value_losses: List[float],
+        entropies: List[float],
+    ) -> List[float]:
+        """Vectorized minibatch loss: one evaluate-batch call, one backward."""
+        config = self.config
+        transitions = [buffer.transitions[index] for index in indices]
+        log_probs, entropy, values = self.policy.evaluate_actions_batch(
+            [t.observation for t in transitions],
+            [t.vm_index for t in transitions],
+            [t.pm_index for t in transitions],
+            vm_masks=[t.vm_mask for t in transitions],
+            pm_masks=[t.pm_mask for t in transitions],
+            joint_masks=[t.joint_mask for t in transitions],
+            feature_batches=[buffer.feature_batch(index) for index in indices],
+        )
+        old_log_probs = np.array([t.log_prob for t in transitions])
+        advantages = np.array([t.advantage for t in transitions])
+        returns = np.array([t.return_ for t in transitions])
+
+        ratio = (log_probs - Tensor(old_log_probs)).exp()
+        surrogate1 = ratio * Tensor(advantages)
+        surrogate2 = ratio.clip(1.0 - config.clip_coef, 1.0 + config.clip_coef) * Tensor(advantages)
+        per_policy = -F.where(surrogate1.numpy() <= surrogate2.numpy(), surrogate1, surrogate2)
+        per_value = (values - Tensor(returns)) ** 2
+        loss = (
+            per_policy + config.value_coef * per_value - config.entropy_coef * entropy
+        ).mean()
+        loss.backward()
+
+        policy_losses.extend(per_policy.numpy().tolist())
+        value_losses.extend(per_value.numpy().tolist())
+        entropies.extend(entropy.numpy().tolist())
+        return (old_log_probs - log_probs.numpy()).tolist()
+
+    def _minibatch_step_loop(
+        self,
+        buffer: RolloutBuffer,
+        indices: np.ndarray,
+        policy_losses: List[float],
+        value_losses: List[float],
+        entropies: List[float],
+    ) -> List[float]:
+        """Per-transition reference: one extractor forward per stored step."""
+        config = self.config
+        losses = []
+        batch_kl: List[float] = []
+        for index in indices:
+            transition = buffer.transitions[index]
+            log_prob, entropy, value = self.policy.evaluate_actions(
+                transition.observation,
+                transition.vm_index,
+                transition.pm_index,
+                transition.vm_mask,
+                transition.pm_mask,
+                transition.joint_mask,
+            )
+            old_log_prob = Tensor(np.array([transition.log_prob]))
+            ratio = (log_prob - old_log_prob).exp()
+            advantage = float(transition.advantage)
+            surrogate1 = ratio * advantage
+            surrogate2 = ratio.clip(1.0 - config.clip_coef, 1.0 + config.clip_coef) * advantage
+            policy_loss = -F.where(
+                surrogate1.numpy() <= surrogate2.numpy(), surrogate1, surrogate2
+            ).sum()
+            target = Tensor(np.array([transition.return_]))
+            value_loss = ((value - target) ** 2).sum()
+            loss = (
+                policy_loss
+                + config.value_coef * value_loss
+                - config.entropy_coef * entropy.sum()
+            )
+            losses.append(loss)
+            policy_losses.append(float(policy_loss.item()))
+            value_losses.append(float(value_loss.item()))
+            entropies.append(float(entropy.numpy().sum()))
+            batch_kl.append(float(transition.log_prob - log_prob.item()))
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        total = total / float(len(losses))
+        total.backward()
+        return batch_kl
 
     # ------------------------------------------------------------------ #
     # Full training loop

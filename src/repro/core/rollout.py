@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..env.observation import Observation
+from .features import FeatureBatch, build_feature_batch
 
 
 @dataclass
@@ -33,6 +34,8 @@ class Transition:
     joint_mask: Optional[np.ndarray] = None
     advantage: float = 0.0
     return_: float = 0.0
+    #: Lazily-built featurization cache — see :meth:`RolloutBuffer.feature_batch`.
+    feature_batch: Optional[FeatureBatch] = None
 
 
 class RolloutBuffer:
@@ -58,6 +61,19 @@ class RolloutBuffer:
 
     def clear(self) -> None:
         self.transitions = []
+
+    def feature_batch(self, index: int) -> FeatureBatch:
+        """Cached :class:`FeatureBatch` for the transition at ``index``.
+
+        Featurization (tensor conversion plus tree-mask construction) runs
+        once per rollout per transition; every PPO epoch × minibatch that
+        revisits the transition reuses the cached batch.  Inputs carry no
+        gradients, so reuse across backward passes is safe.
+        """
+        transition = self.transitions[index]
+        if transition.feature_batch is None:
+            transition.feature_batch = build_feature_batch(transition.observation)
+        return transition.feature_batch
 
     # ------------------------------------------------------------------ #
     def compute_advantages(

@@ -8,7 +8,7 @@ DESIGN.md).  The public surface mirrors a minimal ``torch.nn``:
 * layers — :class:`Linear`, :class:`LayerNorm`, :class:`MLP`, :class:`Embedding`,
   :class:`Sequential`, :class:`Dropout`, :class:`Activation`
 * attention — :class:`MultiHeadAttention`, :class:`TransformerEncoderLayer`,
-  :class:`CrossAttentionLayer`, :class:`FeedForward`
+  :class:`CrossAttentionLayer`, :class:`FeedForward`, :class:`AttentionMask`
 * optimizers — :class:`Adam`, :class:`SGD`, :class:`LinearSchedule`
 * :mod:`repro.nn.functional` — softmax / masked softmax / losses / distribution helpers
 * checkpoint helpers — :func:`save_module`, :func:`load_module`
@@ -17,6 +17,7 @@ DESIGN.md).  The public surface mirrors a minimal ``torch.nn``:
 from . import functional
 from . import init
 from .attention import (
+    AttentionMask,
     CrossAttentionLayer,
     FeedForward,
     MultiHeadAttention,
@@ -26,7 +27,17 @@ from .layers import MLP, Activation, Dropout, Embedding, LayerNorm, Linear, Sequ
 from .module import Module
 from .optim import Adam, ConstantSchedule, LinearSchedule, Optimizer, SGD
 from .serialization import checkpoint_size_bytes, load_module, save_module
-from .tensor import Tensor, concatenate, ones, stack, tensor, where, zeros
+from .tensor import (
+    Tensor,
+    concatenate,
+    ones,
+    reference_mode_active,
+    reference_ops,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
 
 __all__ = [
     "Tensor",
@@ -36,6 +47,8 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "reference_ops",
+    "reference_mode_active",
     "Module",
     "Linear",
     "LayerNorm",
@@ -44,6 +57,7 @@ __all__ = [
     "Sequential",
     "Dropout",
     "Activation",
+    "AttentionMask",
     "MultiHeadAttention",
     "TransformerEncoderLayer",
     "CrossAttentionLayer",

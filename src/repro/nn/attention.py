@@ -20,14 +20,81 @@ from .module import Module
 from .tensor import Tensor
 
 
+class AttentionMask:
+    """A boolean keep-mask plus everything attention derives from it.
+
+    Wrapping a mask precomputes the additive score bias (0 kept / ``-1e9``
+    masked) and the fully-masked-row indicator once, so a mask reused across
+    several attention layers (e.g. the tree mask through every extractor
+    block) pays the conversion a single time; inside one layer the bias
+    broadcasts over the head axis instead of being expanded per head.
+    """
+
+    __slots__ = ("mask", "bias", "dead_rows")
+
+    def __init__(self, mask: np.ndarray) -> None:
+        self.mask = np.asarray(mask, dtype=bool)
+        self.bias = F.mask_to_bias(self.mask)
+        allowed = self.mask.any(axis=-1)
+        #: float indicator of rows with at least one allowed key, or None when
+        #: every row has one (the common case — lets consumers skip the fixup).
+        self.dead_rows = None if allowed.all() else allowed.astype(float)
+
+    @property
+    def shape(self):
+        return self.mask.shape
+
+
+def _attention_softmax(scores: Tensor, mask: Optional[AttentionMask], batched: bool) -> Tensor:
+    """Fused masked softmax over attention scores.
+
+    Bias add, numerically stable softmax and dead-row zeroing collapse into
+    ONE graph node with one full-size temporary — the chained formulation
+    allocated a fresh ``(…, q_len, k_len)`` tensor per step.  The backward is
+    the plain softmax gradient: masked keys and fully-masked query rows have
+    exactly zero weight, so their gradient contributions are exactly zero.
+    """
+    if mask is None:
+        return F.softmax(scores, axis=-1)
+    bias = mask.bias
+    if batched and bias.ndim == 3:
+        bias = bias[:, None, :, :]
+    data = scores.data + bias
+    data -= data.max(axis=-1, keepdims=True)
+    np.exp(data, out=data)
+    data /= data.sum(axis=-1, keepdims=True)
+    if mask.dead_rows is not None:
+        allowed = mask.dead_rows
+        if not batched:
+            allowed = allowed[None, :, None]
+        elif allowed.ndim == 1:
+            allowed = allowed[None, None, :, None]
+        else:
+            allowed = allowed[:, None, :, None]
+        data *= allowed
+    out_data = data
+    if not scores.requires_grad:
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = np.einsum("...i,...i->...", grad, out_data)[..., None]
+        grad_input = grad - dot
+        grad_input *= out_data
+        scores._accumulate(grad_input)
+
+    return Tensor(out_data, requires_grad=True, parents=(scores,), backward=backward)
+
+
 class MultiHeadAttention(Module):
     """Multi-head scaled dot-product attention with an optional boolean mask.
 
     The mask has shape ``(query_len, key_len)`` or ``(batch, query_len,
     key_len)`` with ``True`` meaning the query is allowed to attend to the key.
-    Queries whose mask row is entirely ``False`` receive a zero output vector,
-    which matches the semantics needed for isolated nodes (e.g. a PM hosting
-    no VMs during tree-local attention).
+    It may be a raw boolean array or a pre-built :class:`AttentionMask`; pass
+    the latter when the same mask feeds several layers so the additive bias is
+    derived once.  Queries whose mask row is entirely ``False`` receive a zero
+    output vector, which matches the semantics needed for isolated nodes
+    (e.g. a PM hosting no VMs during tree-local attention).
     """
 
     def __init__(
@@ -72,11 +139,14 @@ class MultiHeadAttention(Module):
         batch, q_len = query.shape[0], query.shape[1]
         k_len = key.shape[1]
 
-        q = (
-            self.q_proj(query)
-            .reshape(batch, q_len, self.num_heads, self.head_dim)
-            .transpose((0, 2, 1, 3))
-        )
+        # Scale folded into q: an O(seq·dim) multiply instead of O(seq²·heads).
+        # (The reference path scales the full score tensor, as the seed did.)
+        reference = F.reference_mode_active()
+        scale = 1.0 / np.sqrt(self.head_dim)
+        q = self.q_proj(query)
+        if not reference:
+            q = q * scale
+        q = q.reshape(batch, q_len, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
         k = (
             self.k_proj(key)
             .reshape(batch, k_len, self.num_heads, self.head_dim)
@@ -88,31 +158,23 @@ class MultiHeadAttention(Module):
             .transpose((0, 2, 1, 3))
         )
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (batch, heads, q_len, k_len)
+        scores = q.matmul(k.swapaxes(-1, -2))  # (batch, heads, q_len, k_len)
+        if reference:
+            scores = scores * scale
 
-        attention_mask = None
         if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.shape == (q_len, k_len):
-                mask = np.broadcast_to(mask, (batch, q_len, k_len))
-            elif mask.shape != (batch, q_len, k_len):
+            if not isinstance(mask, AttentionMask):
+                mask = AttentionMask(mask)
+            if mask.shape not in ((q_len, k_len), (batch, q_len, k_len)):
                 raise ValueError(
                     f"mask shape {mask.shape} does not match ({batch}, {q_len}, {k_len})"
                 )
-            attention_mask = np.broadcast_to(
-                mask[:, None, :, :], (batch, self.num_heads, q_len, k_len)
+        if reference:
+            weights = self._masked_weights_reference(
+                scores, mask, (batch, self.num_heads, q_len, k_len), batched=True
             )
-
-        weights = F.masked_softmax(scores, attention_mask, axis=-1)
-        if mask is not None:
-            # Queries with no allowed keys should output zeros, not a uniform mix.
-            allowed = mask.any(axis=-1).astype(float)  # (batch, q_len)
-            weights = weights * Tensor(
-                np.broadcast_to(
-                    allowed[:, None, :, None], (batch, self.num_heads, q_len, k_len)
-                )
-            )
+        else:
+            weights = _attention_softmax(scores, mask, batched=True)
 
         context = weights.matmul(v)  # (batch, heads, q_len, head_dim)
         context = context.transpose((0, 2, 1, 3)).reshape(batch, q_len, self.embed_dim)
@@ -121,6 +183,35 @@ class MultiHeadAttention(Module):
             mean_weights = weights.data.mean(axis=1)  # (batch, q_len, k_len)
             return output, mean_weights
         return output
+
+    def _masked_weights_reference(
+        self,
+        scores: Tensor,
+        mask: Optional[AttentionMask],
+        expanded_shape,
+        batched: bool,
+    ) -> Tensor:
+        """Seed implementation: per-head boolean mask + masked softmax.
+
+        Expands the boolean mask over the head axis and runs the cleanup-style
+        ``masked_softmax`` (fill, softmax, leakage zeroing, renormalize) plus
+        the unconditional dead-row multiply — kept for
+        ``repro.nn.tensor.reference_ops`` benchmarking of the
+        pre-vectorization attention path.
+        """
+        if mask is None:
+            return F.softmax(scores, axis=-1)
+        raw = mask.mask
+        if batched:
+            if raw.ndim == 2:
+                raw = np.broadcast_to(raw, expanded_shape[:1] + raw.shape)
+            expanded = np.broadcast_to(raw[:, None, :, :], expanded_shape)
+            allowed = raw.any(axis=-1).astype(float)[:, None, :, None]
+        else:
+            expanded = np.broadcast_to(raw, expanded_shape)
+            allowed = raw.any(axis=-1).astype(float)[None, :, None]
+        weights = F.masked_softmax(scores, expanded, axis=-1)
+        return weights * Tensor(np.broadcast_to(allowed, expanded_shape))
 
     def _forward_single(
         self,
@@ -133,25 +224,32 @@ class MultiHeadAttention(Module):
         q_len = query.shape[0]
         k_len = key.shape[0]
 
-        q = self.q_proj(query).reshape(q_len, self.num_heads, self.head_dim).swapaxes(0, 1)
+        # Scale folded into q: an O(seq·dim) multiply instead of O(seq²·heads).
+        # (The reference path scales the full score tensor, as the seed did.)
+        reference = F.reference_mode_active()
+        scale = 1.0 / np.sqrt(self.head_dim)
+        q = self.q_proj(query)
+        if not reference:
+            q = q * scale
+        q = q.reshape(q_len, self.num_heads, self.head_dim).swapaxes(0, 1)
         k = self.k_proj(key).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
         v = self.v_proj(value).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.swapaxes(1, 2)) * scale  # (heads, q_len, k_len)
+        scores = q.matmul(k.swapaxes(1, 2))  # (heads, q_len, k_len)
+        if reference:
+            scores = scores * scale
 
-        attention_mask = None
         if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
+            if not isinstance(mask, AttentionMask):
+                mask = AttentionMask(mask)
             if mask.shape != (q_len, k_len):
                 raise ValueError(f"mask shape {mask.shape} does not match ({q_len}, {k_len})")
-            attention_mask = np.broadcast_to(mask, (self.num_heads, q_len, k_len))
-
-        weights = F.masked_softmax(scores, attention_mask, axis=-1)
-        if mask is not None:
-            # Queries with no allowed keys should output zeros, not a uniform mix.
-            allowed = mask.any(axis=-1).astype(float)  # (q_len,)
-            weights = weights * Tensor(np.broadcast_to(allowed[None, :, None], (self.num_heads, q_len, k_len)))
+        if reference:
+            weights = self._masked_weights_reference(
+                scores, mask, (self.num_heads, q_len, k_len), batched=False
+            )
+        else:
+            weights = _attention_softmax(scores, mask, batched=False)
 
         context = weights.matmul(v)  # (heads, q_len, head_dim)
         context = context.swapaxes(0, 1).reshape(q_len, self.embed_dim)

@@ -9,11 +9,11 @@ losses and categorical-distribution helpers.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, where
+from .tensor import Tensor, reference_mode_active, reference_ops, where
 
 MASK_FILL_VALUE = -1e9
 
@@ -64,26 +64,97 @@ def get_activation(name: str):
 # ---------------------------------------------------------------------- #
 # Softmax family
 # ---------------------------------------------------------------------- #
-def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+def _softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    """Seed implementation: softmax chained from primitive tensor ops."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
-def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
+def _log_softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    """Seed implementation: log-softmax chained from primitive tensor ops."""
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def _layer_norm_reference(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Seed implementation: layer norm chained from primitive tensor ops."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / (variance + eps).sqrt()
+    return normalized * weight + bias
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    Implemented as one fused graph node: the attention hot path pushes
+    ``(batch, heads, S, S)`` scores through here, and the analytic backward
+    ``dx = y * (g - sum(g * y))`` touches two large temporaries instead of the
+    five a sub→exp→sum→div chain would allocate and re-copy.
+    """
+    x = Tensor._ensure(x)
+    if reference_mode_active():
+        return _softmax_reference(x, axis=axis)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    out_data = shifted
+    if not x.requires_grad:
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if axis == -1 or axis == out_data.ndim - 1:
+            # einsum avoids materializing the grad·y product array.
+            dot = np.einsum("...i,...i->...", grad, out_data)[..., None]
+            grad_input = grad - dot
+            grad_input *= out_data
+        else:
+            grad_input = grad * out_data
+            grad_input -= out_data * grad_input.sum(axis=axis, keepdims=True)
+        x._accumulate(grad_input)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis`` (fused, like softmax)."""
+    x = Tensor._ensure(x)
+    if reference_mode_active():
+        return _log_softmax_reference(x, axis=axis)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    out_data = shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    if not x.requires_grad:
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_input = grad - np.exp(out_data) * grad.sum(axis=axis, keepdims=True)
+        x._accumulate(grad_input)
+
+    return Tensor(out_data, requires_grad=True, parents=(x,), backward=backward)
+
+
+def mask_to_bias(mask: np.ndarray, fill_value: float = MASK_FILL_VALUE) -> np.ndarray:
+    """Additive attention bias for a boolean keep-mask: 0 kept, ``fill_value`` masked.
+
+    Computed once and broadcast (over heads / layers) instead of re-expanding
+    the boolean mask per consumer.
+    """
+    return np.where(np.asarray(mask, dtype=bool), 0.0, fill_value)
 
 
 def masked_fill(x: Tensor, mask: np.ndarray, fill_value: float = MASK_FILL_VALUE) -> Tensor:
     """Replace entries of ``x`` where ``mask`` is False with ``fill_value``.
 
-    ``mask`` uses the convention "True means keep" (a feasibility mask).
+    ``mask`` uses the convention "True means keep" (a feasibility mask).  The
+    fill value enters as a scalar operand, so no full-shape fill array is
+    materialized.
     """
     mask = np.asarray(mask, dtype=bool)
-    return where(mask, x, Tensor(np.full(x.shape, fill_value)))
+    if reference_mode_active():
+        return where(mask, x, Tensor(np.full(x.shape, fill_value)))
+    return where(mask, x, fill_value)
 
 
 def masked_softmax(x: Tensor, mask: Optional[np.ndarray], axis: int = -1) -> Tensor:
@@ -115,15 +186,91 @@ def masked_log_softmax(x: Tensor, mask: Optional[np.ndarray], axis: int = -1) ->
 
 
 # ---------------------------------------------------------------------- #
+# Linear projection
+# ---------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused affine transform ``y = x W^T + b`` as one graph node.
+
+    Leading axes are flattened so the projection (and the weight gradient)
+    run as single large GEMMs, and the bias is added in place — the chained
+    ``matmul``/``add`` formulation allocated an extra full-size output per
+    call on every projection in the network.
+    """
+    lead = x.shape[:-1]
+    rows = int(np.prod(lead)) if lead else 1
+    flat = x.data.reshape(rows, x.shape[-1])
+    out_data = flat @ weight.data.T
+    if bias is not None:
+        out_data += bias.data
+    out_data = out_data.reshape(lead + (weight.shape[0],))
+    requires = (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not requires:
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(rows, weight.shape[0])
+        if x.requires_grad:
+            x._accumulate((grad_flat @ weight.data).reshape(x.shape))
+        if weight.requires_grad:
+            weight._accumulate(grad_flat.T @ flat)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor(out_data, requires_grad=True, parents=parents, backward=backward)
+
+
+# ---------------------------------------------------------------------- #
 # Normalization
 # ---------------------------------------------------------------------- #
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalization over the last dimension."""
-    mean = x.mean(axis=-1, keepdims=True)
-    centered = x - mean
-    variance = (centered * centered).mean(axis=-1, keepdims=True)
-    normalized = centered / (variance + eps).sqrt()
-    return normalized * weight + bias
+    """Layer normalization over the last dimension.
+
+    Fused into a single graph node with the analytic backward
+    ``dx = (g·w − mean(g·w) − x̂ · mean(g·w · x̂)) / σ`` — the op runs on every
+    embedding tensor in every block, and the chained mean/sub/div formulation
+    built ~10 full-size nodes per call.
+    """
+    x = Tensor._ensure(x)
+    if reference_mode_active():
+        return _layer_norm_reference(x, weight, bias, eps=eps)
+    data = x.data
+    dim = data.shape[-1]
+    mean = data.mean(axis=-1, keepdims=True)
+    centered = data - mean
+    variance = np.einsum("...i,...i->...", centered, centered)[..., None] / dim
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    centered *= inv_std
+    normalized = centered
+    out_data = normalized * weight.data
+    out_data += bias.data
+    if not (x.requires_grad or weight.requires_grad or bias.requires_grad):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        leading = tuple(range(grad.ndim - 1))
+        if weight.requires_grad:
+            weight._accumulate(
+                np.einsum("ri,ri->i", grad.reshape(-1, dim), normalized.reshape(-1, dim))
+            )
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=leading))
+        if x.requires_grad:
+            grad_input = grad * weight.data
+            mean_grad = grad_input.mean(axis=-1, keepdims=True)
+            mean_proj = np.einsum("...i,...i->...", grad_input, normalized)[..., None] / dim
+            grad_input -= mean_grad
+            grad_input -= normalized * mean_proj
+            grad_input *= inv_std
+            x._accumulate(grad_input)
+
+    return Tensor(
+        out_data, requires_grad=True, parents=(x, weight, bias), backward=backward
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -201,20 +348,16 @@ def explained_variance(predictions: np.ndarray, targets: np.ndarray) -> float:
     return float(1.0 - (targets - predictions).var() / var_target)
 
 
-def clip_grad_norm(gradients, max_norm: float) -> Tuple[float, float]:
-    """Scale a list of gradient arrays in place to a maximum global norm.
+def grad_norm(gradients) -> float:
+    """Global L2 norm of a list of gradient arrays (``None`` entries skipped).
 
-    Returns ``(total_norm, scale)``.
+    Scaling lives in :meth:`repro.nn.optim.Optimizer.clip_gradients`, which
+    reassigns out of place — with zero-copy gradient accumulation several
+    tensors may share one buffer, so an in-place ``grad *= scale`` helper
+    would scale a shared buffer once per aliasing parameter.
     """
     total = 0.0
     for grad in gradients:
         if grad is not None:
             total += float(np.sum(grad ** 2))
-    total_norm = float(np.sqrt(total))
-    scale = 1.0
-    if max_norm > 0.0 and total_norm > max_norm:
-        scale = max_norm / (total_norm + 1e-8)
-        for grad in gradients:
-            if grad is not None:
-                grad *= scale
-    return total_norm, scale
+    return float(np.sqrt(total))

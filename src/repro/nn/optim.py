@@ -10,7 +10,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from .functional import clip_grad_norm
+from .functional import grad_norm
 from .tensor import Tensor
 
 
@@ -30,9 +30,18 @@ class Optimizer:
             param.zero_grad()
 
     def clip_gradients(self, max_norm: float) -> float:
-        """Clip the global gradient norm in place; returns the pre-clip norm."""
-        grads = [p.grad for p in self.parameters if p.grad is not None]
-        total_norm, _ = clip_grad_norm(grads, max_norm)
+        """Scale gradients to a maximum global norm; returns the pre-clip norm.
+
+        Scaling reassigns ``param.grad`` out of place: zero-copy gradient
+        accumulation can leave several tensors sharing one buffer, so an
+        in-place multiply here could scale a shared buffer twice.
+        """
+        total_norm = grad_norm(param.grad for param in self.parameters)
+        if max_norm > 0.0 and total_norm > max_norm:
+            scale = max_norm / (total_norm + 1e-8)
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
         return total_norm
 
     def step(self) -> None:

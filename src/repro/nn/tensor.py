@@ -21,6 +21,33 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float64
 
+#: When True, substrate ops use the seed repository's implementations
+#: (chained-primitive softmax / layer norm, per-head masked attention,
+#: copying gradient accumulation).  Benchmarks flip this to time the
+#: pre-vectorization reference paths — the nn-level analogue of the
+#: ``*_reference`` convention in :mod:`repro.cluster`.
+_reference_mode = False
+
+
+def reference_mode_active() -> bool:
+    """Whether the seed reference implementations are active."""
+    return _reference_mode
+
+
+class reference_ops:
+    """Context manager running substrate ops with the seed implementations."""
+
+    def __enter__(self):
+        global _reference_mode
+        self._previous = _reference_mode
+        _reference_mode = True
+        return self
+
+    def __exit__(self, *exc):
+        global _reference_mode
+        _reference_mode = self._previous
+        return False
+
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     """Coerce ``value`` to a numpy array with a float dtype by default."""
@@ -135,9 +162,16 @@ class Tensor:
         return Tensor(data, requires_grad=True, parents=parents, backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Zero-copy: the first gradient is stored as-is (it may alias a
+        # child's gradient or a broadcast view).  This is safe because stored
+        # gradients are never mutated in place — accumulation and clipping
+        # both reassign (`self.grad = self.grad + grad`,
+        # `Optimizer.clip_gradients`) — and it avoids one full-size copy per
+        # graph node, which dominated backward time on the batched attention
+        # graphs (hundreds of multi-MB score arrays).
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad.copy() if _reference_mode else grad
         else:
             self.grad = self.grad + grad
 
@@ -332,11 +366,23 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        # Basic indices (ints/slices/ellipsis) select each element at most
+        # once, so the gradient can be written with a direct (fast) in-place
+        # add; only advanced indices with possible duplicates need the much
+        # slower element-wise np.add.at scatter.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(
+            isinstance(part, (int, np.integer, slice, type(Ellipsis), type(None)))
+            for part in parts
+        )
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
+                if basic and not _reference_mode:
+                    full[index] += grad
+                else:
+                    np.add.at(full, index, grad)
                 self._accumulate(full)
 
         return self._make(out_data, (self,), backward)

@@ -1,0 +1,304 @@
+"""Parity tests for the batched PPO update path.
+
+The vectorized minibatch update (``TwoStagePolicy.evaluate_actions_batch`` +
+``PPOTrainer._minibatch_step_batched``) must reproduce the per-transition
+reference bit-for-bit (within float tolerance): log-probs, entropies, values,
+gradients after one backward, and parameters after a full optimizer step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstraintConfig
+from repro.core import ModelConfig, PPOConfig
+from repro.core.features import build_feature_batch, stack_feature_batches
+from repro.core.policy import TwoStagePolicy, _apply_threshold
+from repro.core.ppo import PPOTrainer
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env import VMRescheduleEnv
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    spec = ClusterSpec(name="batched-update", num_pms=6, target_utilization=0.7,
+                       best_fit_fraction=0.3)
+    return SnapshotGenerator(spec, seed=7).generate()
+
+
+def make_env(snapshot, migration_limit=5, penalty=None):
+    return VMRescheduleEnv(
+        snapshot.copy(),
+        constraint_config=ConstraintConfig(migration_limit=migration_limit),
+        seed=0,
+        illegal_action_penalty=penalty,
+    )
+
+
+def collect_steps(env, policy, steps, rng):
+    """Roll a few steps and return the stored-transition ingredients."""
+    observation = env.reset()
+    two_stage = policy.config.action_mode == "two_stage"
+    records = []
+    for _ in range(steps):
+        output = policy.act(observation, pm_mask_fn=env.pm_action_mask, rng=rng)
+        vm_mask = observation.vm_mask.copy() if two_stage else None
+        pm_mask = env.pm_action_mask(output.vm_index).copy() if two_stage else None
+        records.append((observation, output.vm_index, output.pm_index, vm_mask, pm_mask))
+        observation, _, done, _ = env.step(output.action)
+        if done:
+            observation = env.reset()
+    return records
+
+
+def batch_args(records):
+    observations = [r[0] for r in records]
+    return dict(
+        observations=observations,
+        vm_indices=[r[1] for r in records],
+        pm_indices=[r[2] for r in records],
+        vm_masks=[r[3] for r in records],
+        pm_masks=[r[4] for r in records],
+    )
+
+
+class TestEvaluateActionsBatchParity:
+    @pytest.mark.parametrize("action_mode", ["two_stage", "penalty"])
+    def test_outputs_match_per_transition(self, snapshot, action_mode):
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1, action_mode=action_mode)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        env = make_env(snapshot, penalty=-1.0 if action_mode == "penalty" else None)
+        records = collect_steps(env, policy, 5, np.random.default_rng(1))
+        log_probs, entropies, values = policy.evaluate_actions_batch(**batch_args(records))
+        assert log_probs.shape == (5,) and entropies.shape == (5,) and values.shape == (5,)
+        for index, (obs, vm_index, pm_index, vm_mask, pm_mask) in enumerate(records):
+            log_prob, entropy, value = policy.evaluate_actions(
+                obs, vm_index, pm_index, vm_mask, pm_mask
+            )
+            assert log_probs.numpy()[index] == pytest.approx(log_prob.numpy()[0], abs=1e-8)
+            assert entropies.numpy()[index] == pytest.approx(entropy.numpy()[0], abs=1e-8)
+            assert values.numpy()[index] == pytest.approx(value.numpy()[0], abs=1e-8)
+
+    def test_gradients_match_per_transition(self, snapshot):
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        env = make_env(snapshot)
+        records = collect_steps(env, policy, 4, np.random.default_rng(2))
+
+        # Reference: per-transition forwards, mean loss over the minibatch.
+        for parameter in policy.parameters():
+            parameter.zero_grad()
+        losses = []
+        for obs, vm_index, pm_index, vm_mask, pm_mask in records:
+            log_prob, entropy, value = policy.evaluate_actions(
+                obs, vm_index, pm_index, vm_mask, pm_mask
+            )
+            losses.append(-log_prob.sum() + (value * value).sum() - 0.01 * entropy.sum())
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        (total / float(len(losses))).backward()
+        reference = {
+            name: parameter.grad.copy()
+            for name, parameter in policy.named_parameters()
+            if parameter.grad is not None
+        }
+
+        for parameter in policy.parameters():
+            parameter.zero_grad()
+        log_probs, entropies, values = policy.evaluate_actions_batch(**batch_args(records))
+        (-log_probs + values * values - entropies * 0.01).mean().backward()
+        batched = {
+            name: parameter.grad
+            for name, parameter in policy.named_parameters()
+            if parameter.grad is not None
+        }
+
+        assert set(batched) == set(reference)
+        for name, grad in reference.items():
+            np.testing.assert_allclose(batched[name], grad, atol=1e-8, err_msg=name)
+
+    def test_cached_feature_batches_match_fresh(self, snapshot):
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        env = make_env(snapshot)
+        records = collect_steps(env, policy, 3, np.random.default_rng(3))
+        args = batch_args(records)
+        fresh = policy.evaluate_actions_batch(**args)
+        cached = policy.evaluate_actions_batch(
+            **args, feature_batches=[build_feature_batch(obs) for obs in args["observations"]]
+        )
+        for fresh_tensor, cached_tensor in zip(fresh, cached):
+            np.testing.assert_allclose(cached_tensor.numpy(), fresh_tensor.numpy(), atol=1e-12)
+
+    def test_ragged_minibatch_falls_back(self, snapshot):
+        other_spec = ClusterSpec(name="batched-update-small", num_pms=4,
+                                 target_utilization=0.6, best_fit_fraction=0.3)
+        other = SnapshotGenerator(other_spec, seed=11).generate()
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        records = collect_steps(make_env(snapshot), policy, 2, np.random.default_rng(4))
+        records += collect_steps(make_env(other), policy, 2, np.random.default_rng(5))
+        sizes = {(r[0].num_pms, r[0].num_vms) for r in records}
+        assert len(sizes) > 1, "fixture must produce a genuinely ragged minibatch"
+        log_probs, entropies, values = policy.evaluate_actions_batch(**batch_args(records))
+        assert log_probs.shape == (4,)
+        for index, (obs, vm_index, pm_index, vm_mask, pm_mask) in enumerate(records):
+            log_prob, entropy, value = policy.evaluate_actions(
+                obs, vm_index, pm_index, vm_mask, pm_mask
+            )
+            assert log_probs.numpy()[index] == pytest.approx(log_prob.numpy()[0], abs=1e-10)
+            assert entropies.numpy()[index] == pytest.approx(entropy.numpy()[0], abs=1e-10)
+            assert values.numpy()[index] == pytest.approx(value.numpy()[0], abs=1e-10)
+
+
+class TestTreeGroupingParity:
+    def test_grouped_stage_matches_dense_masked_layer(self, snapshot):
+        """Padded per-tree attention must equal the dense masked tree stage."""
+        from repro.core.features import build_tree_mask, stack_feature_batches
+        from repro.nn import AttentionMask, Tensor, TransformerEncoderLayer, concatenate
+
+        envs = [make_env(snapshot) for _ in range(3)]
+        observations = [env.reset() for env in envs]
+        batch = stack_feature_batches([build_feature_batch(obs) for obs in observations])
+        grouping = batch.tree_grouping()
+        assert grouping is not None
+        rng = np.random.default_rng(0)
+        layer = TransformerEncoderLayer(16, 2, 32, rng=rng)
+        combined = Tensor(
+            rng.normal(size=(len(observations), batch.sequence_length, 16)),
+            requires_grad=True,
+        )
+        grouped_out = grouping.apply(layer, combined)
+        dense_out = layer(combined, mask=AttentionMask(batch.tree_mask))
+        np.testing.assert_allclose(grouped_out.numpy(), dense_out.numpy(), atol=1e-10)
+
+        grouped_out.sum().backward()
+        grouped_grad = combined.grad.copy()
+        combined.zero_grad()
+        for parameter in layer.parameters():
+            parameter.zero_grad()
+        dense_out = layer(combined, mask=AttentionMask(batch.tree_mask))
+        dense_out.sum().backward()
+        np.testing.assert_allclose(grouped_grad, combined.grad, atol=1e-10)
+
+    def test_grouping_covers_each_position_once(self, snapshot):
+        from repro.core.features import stack_feature_batches
+
+        observations = [make_env(snapshot).reset() for _ in range(2)]
+        batch = stack_feature_batches([build_feature_batch(obs) for obs in observations])
+        grouping = batch.tree_grouping()
+        positions = np.concatenate(
+            [bucket.members[bucket.valid] for bucket in grouping.buckets]
+        )
+        assert positions.size == 2 * batch.sequence_length
+        assert np.array_equal(np.sort(positions), np.arange(2 * batch.sequence_length))
+
+
+class TestReferenceOpsParity:
+    def test_reference_substrate_matches_fast_path(self, snapshot):
+        """`reference_ops` (seed substrate) must compute the same quantities
+        and gradients as the fused/sparse fast path — it is what the update
+        benchmark times as `legacy`."""
+        from repro.nn import reference_ops
+
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        env = make_env(snapshot)
+        records = collect_steps(env, policy, 3, np.random.default_rng(6))
+        args = batch_args(records)
+
+        def run():
+            for parameter in policy.parameters():
+                parameter.zero_grad()
+            log_probs, entropies, values = policy.evaluate_actions_batch(**args)
+            (-log_probs + values * values - entropies * 0.01).mean().backward()
+            return (
+                log_probs.numpy().copy(),
+                {n: p.grad.copy() for n, p in policy.named_parameters() if p.grad is not None},
+            )
+
+        fast_out, fast_grads = run()
+        with reference_ops():
+            ref_out, ref_grads = run()
+        np.testing.assert_allclose(ref_out, fast_out, atol=1e-8)
+        assert set(ref_grads) == set(fast_grads)
+        for name, grad in ref_grads.items():
+            np.testing.assert_allclose(fast_grads[name], grad, atol=1e-8, err_msg=name)
+
+
+class TestBatchedActorForwards:
+    def test_vm_and_pm_actor_batched_vs_single(self, snapshot):
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        envs = [make_env(snapshot) for _ in range(3)]
+        observations = [env.reset() for env in envs]
+        stacked = stack_feature_batches([build_feature_batch(obs) for obs in observations])
+        stacked_output = policy.extractor(stacked)
+        vm_logits = policy.vm_actor(stacked_output)
+        assert vm_logits.shape == (3, observations[0].num_vms)
+        vm_indices = [1, 4, 2]
+        pm_logits = policy.pm_actor.forward_batch(stacked_output, vm_indices)
+        assert pm_logits.shape == (3, observations[0].num_pms)
+        for index, observation in enumerate(observations):
+            single_output = policy.extractor(build_feature_batch(observation))
+            np.testing.assert_allclose(
+                vm_logits.numpy()[index], policy.vm_actor(single_output).numpy(), atol=1e-8
+            )
+            np.testing.assert_allclose(
+                pm_logits.numpy()[index],
+                policy.pm_actor(single_output, vm_indices[index]).numpy(),
+                atol=1e-8,
+            )
+
+    def test_forward_batch_rejects_bad_indices(self, snapshot):
+        config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1)
+        policy = TwoStagePolicy(config, rng=np.random.default_rng(0))
+        observations = [make_env(snapshot).reset() for _ in range(2)]
+        stacked = stack_feature_batches([build_feature_batch(obs) for obs in observations])
+        stacked_output = policy.extractor(stacked)
+        with pytest.raises(ValueError):
+            policy.pm_actor.forward_batch(stacked_output, [0])  # wrong length
+        with pytest.raises(IndexError):
+            policy.pm_actor.forward_batch(stacked_output, [0, observations[0].num_vms])
+
+
+class TestBatchedTrainerUpdateParity:
+    @pytest.mark.parametrize("action_mode", ["two_stage", "penalty"])
+    def test_update_matches_per_transition_reference(self, snapshot, action_mode):
+        model_config = ModelConfig(embed_dim=16, num_heads=2, num_blocks=1,
+                                   action_mode=action_mode)
+
+        def run(batched: bool):
+            policy = TwoStagePolicy(model_config, rng=np.random.default_rng(0))
+            trainer = PPOTrainer(
+                policy,
+                make_env(snapshot, penalty=-1.0 if action_mode == "penalty" else None),
+                PPOConfig(rollout_steps=8, minibatch_size=4, update_epochs=2, seed=0,
+                          batched_updates=batched),
+            )
+            buffer = trainer.collect_rollout()
+            stats = trainer.update(buffer)
+            return stats, {name: p.data.copy() for name, p in policy.named_parameters()}
+
+        batched_stats, batched_params = run(True)
+        loop_stats, loop_params = run(False)
+        for key in ("policy_loss", "value_loss", "entropy", "approx_kl"):
+            assert batched_stats[key] == pytest.approx(loop_stats[key], abs=1e-8)
+        for name, data in loop_params.items():
+            np.testing.assert_allclose(batched_params[name], data, atol=1e-8, err_msg=name)
+
+
+class TestThresholdRegression:
+    def test_cutoff_ignores_masked_zero_probabilities(self):
+        # Five masked actions carry zero probability; the §3.4 quantile must
+        # be taken over the feasible (positive) entries, so the weakest
+        # feasible action is dropped even though most entries are zero.
+        probs = np.array([0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.3, 0.2])
+        thresholded = _apply_threshold(probs.copy(), 0.5)
+        assert thresholded[7] == 0.0
+        np.testing.assert_allclose(thresholded[5:7], [0.625, 0.375])
+        assert thresholded.sum() == pytest.approx(1.0)
+
+    def test_no_positive_entries_left_untouched(self):
+        probs = np.array([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(_apply_threshold(probs.copy(), 0.9), probs)

@@ -33,6 +33,7 @@ def test_bench_perf_hotpaths_smoke(tmp_path):
         "observation_build",
         "cluster_state_copy",
         "ppo_rollout_epoch",
+        "ppo_update_epoch",
     ):
         entry = results[name]
         assert entry["legacy_s"] > 0

@@ -154,17 +154,9 @@ class TestUtilities:
     def test_explained_variance_constant_target(self):
         assert F.explained_variance(np.array([1.0, 2.0]), np.array([3.0, 3.0])) == 0.0
 
-    def test_clip_grad_norm_scales_down(self):
-        grads = [np.array([3.0, 4.0])]
-        norm, scale = F.clip_grad_norm(grads, max_norm=1.0)
-        assert norm == pytest.approx(5.0)
-        np.testing.assert_allclose(np.linalg.norm(grads[0]), 1.0, atol=1e-6)
-
-    def test_clip_grad_norm_no_change_when_below(self):
-        grads = [np.array([0.3, 0.4])]
-        norm, scale = F.clip_grad_norm(grads, max_norm=1.0)
-        assert scale == 1.0
-        np.testing.assert_allclose(grads[0], [0.3, 0.4])
+    def test_grad_norm(self):
+        assert F.grad_norm([np.array([3.0, 4.0]), None]) == pytest.approx(5.0)
+        assert F.grad_norm([None]) == 0.0
 
     def test_get_activation_unknown_raises(self):
         with pytest.raises(ValueError):
