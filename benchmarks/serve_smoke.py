@@ -1,0 +1,80 @@
+"""Service smoke check: one HTTP PlanRequest per registered planner.
+
+Starts the real ThreadingHTTPServer frontend, POSTs a ``PlanRequest`` for
+every planner in the default registry over actual HTTP, and asserts each
+reply is a schema-valid ``PlanResponse``.  Exits non-zero on any failure —
+CI runs this as the serving smoke job.
+
+Run:  PYTHONPATH=src python benchmarks/serve_smoke.py [--fast-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.serve import (
+    PlanRequest,
+    PlanningServer,
+    ReschedulingService,
+    ServiceConfig,
+    build_default_registry,
+    response_from_dict,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast-only", action="store_true",
+                        help="skip the slow optimization/search planners")
+    parser.add_argument("--num-pms", type=int, default=6)
+    parser.add_argument("--migration-limit", type=int, default=3)
+    args = parser.parse_args()
+
+    spec = ClusterSpec(
+        name="serve-smoke", num_pms=args.num_pms,
+        target_utilization=0.7, best_fit_fraction=0.3,
+    )
+    state = SnapshotGenerator(spec, seed=0).generate()
+    registry = build_default_registry(include_slow=not args.fast_only, seed=0)
+    service = ReschedulingService(registry, ServiceConfig(max_batch_size=4))
+    failures = []
+    with PlanningServer(service, host="127.0.0.1", port=0) as server:
+        with urllib.request.urlopen(server.url + "/healthz", timeout=30) as reply:
+            assert json.load(reply)["status"] == "ok"
+        for key in registry.names():
+            request = PlanRequest.from_state(
+                state, planner=key, migration_limit=args.migration_limit
+            )
+            http_request = urllib.request.Request(
+                server.url + "/v1/plan",
+                data=request.to_json().encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(http_request, timeout=300) as reply:
+                    payload = json.load(reply)
+                response = response_from_dict(payload)
+                assert response.ok, payload
+                assert response.request_id == request.request_id
+                assert 0.0 <= response.final_objective <= 1.0
+                assert response.num_migrations <= args.migration_limit
+                print(f"ok {key:8s} -> {response.planner:10s} "
+                      f"migrations={response.num_migrations} "
+                      f"FR {response.initial_objective:.3f} -> {response.final_objective:.3f} "
+                      f"({response.metrics['latency_ms']:.1f} ms)")
+            except Exception as exc:  # keep probing the other planners
+                failures.append((key, exc))
+                print(f"FAIL {key}: {exc}")
+    if failures:
+        print(f"{len(failures)} planner(s) failed the smoke check", file=sys.stderr)
+        return 1
+    print(f"all {len(registry.names())} planners served a valid PlanResponse")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

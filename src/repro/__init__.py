@@ -26,10 +26,24 @@ Subpackages
 ``repro.analysis``
     Metrics, latency measurement, the inference-decay experiment and the
     migration-trace visualizer used by the benchmark harness.
+``repro.serve``
+    The unified planning service: request/response schemas, the planner
+    registry, the micro-batching ``ReschedulingService`` and the HTTP
+    frontend behind ``repro serve`` (see docs/serving.md).
 """
 
-from . import analysis, baselines, cluster, core, datasets, env, nn
+from . import analysis, baselines, cluster, core, datasets, env, nn, serve
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "baselines", "cluster", "core", "datasets", "env", "nn", "__version__"]
+__all__ = [
+    "analysis",
+    "baselines",
+    "cluster",
+    "core",
+    "datasets",
+    "env",
+    "nn",
+    "serve",
+    "__version__",
+]

@@ -38,9 +38,21 @@ class Rescheduler:
     name = "rescheduler"
 
     def compute_plan(self, state: ClusterState, migration_limit: int) -> ReschedulingResult:
-        """Compute a migration plan for ``state`` without mutating it."""
-        if migration_limit <= 0:
-            raise ValueError("migration_limit must be positive")
+        """Compute a migration plan for ``state`` without mutating it.
+
+        A limit of zero is a well-defined no-op request (the serving layer
+        uses it for dry-runs): the result carries an empty plan and zero
+        inference time.  Negative limits are rejected.
+        """
+        if migration_limit < 0:
+            raise ValueError("migration_limit must not be negative")
+        if migration_limit == 0:
+            return ReschedulingResult(
+                plan=MigrationPlan(),
+                inference_seconds=0.0,
+                algorithm=self.name,
+                info={"noop": True},
+            )
         working = state.copy()
         start = time.perf_counter()
         plan = self._compute(working, migration_limit)

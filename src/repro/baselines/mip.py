@@ -238,14 +238,24 @@ class MIPRescheduler(Rescheduler):
         return assignment, solution
 
 
-def order_migrations(state: ClusterState, assignment: Dict[int, int]) -> MigrationPlan:
+def order_migrations(
+    state: ClusterState,
+    assignment: Dict[int, int],
+    numa_targets: Optional[Dict[int, Optional[int]]] = None,
+) -> MigrationPlan:
     """Turn a final VM→PM assignment into a sequentially feasible migration order.
 
     Migrations are emitted greedily: at each round, any move whose destination
     currently has room is applied to a working copy.  Remaining moves (cyclic
     swaps with no free buffer) are appended at the end; plan application skips
     them if they stay infeasible, which mirrors production behaviour.
+
+    ``numa_targets`` optionally pins a VM's destination NUMA (planners like
+    α-VBPP choose NUMAs deliberately): the pinned target is kept whenever it
+    is feasible at that point of the sequence and downgraded to best-fit
+    (``dest_numa_id=None``) otherwise.
     """
+    numa_targets = numa_targets or {}
     working = state.copy()
     pending = [
         (vm_id, dest_pm)
@@ -259,12 +269,19 @@ def order_migrations(state: ClusterState, assignment: Dict[int, int]) -> Migrati
         remaining = []
         for vm_id, dest_pm in pending:
             if working.can_host(vm_id, dest_pm, honor_affinity=False):
-                working.migrate_vm(vm_id, dest_pm, honor_affinity=False)
-                plan.append(Migration(vm_id=vm_id, dest_pm_id=dest_pm))
+                numa = numa_targets.get(vm_id)
+                if numa is not None and numa not in working.feasible_numas(
+                    vm_id, dest_pm, honor_affinity=False
+                ):
+                    numa = None  # pinned NUMA stale at this point: best-fit
+                working.migrate_vm(vm_id, dest_pm, dest_numa_id=numa, honor_affinity=False)
+                plan.append(Migration(vm_id=vm_id, dest_pm_id=dest_pm, dest_numa_id=numa))
                 progress = True
             else:
                 remaining.append((vm_id, dest_pm))
         pending = remaining
     for vm_id, dest_pm in pending:
-        plan.append(Migration(vm_id=vm_id, dest_pm_id=dest_pm))
+        plan.append(
+            Migration(vm_id=vm_id, dest_pm_id=dest_pm, dest_numa_id=numa_targets.get(vm_id))
+        )
     return plan

@@ -15,8 +15,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..cluster import ClusterState, ConstraintConfig, Migration, MigrationPlan, Placement
+from ..cluster import ClusterState, ConstraintConfig, MigrationPlan, Placement
 from .base import Rescheduler
+from .mip import order_migrations
 
 
 class AlphaVBPP(Rescheduler):
@@ -72,11 +73,20 @@ class AlphaVBPP(Rescheduler):
         victims = self._select_victims(state, min(self.alpha, budget))
         if not victims:
             return 0
-        # Remove all victims first so the packer sees the freed capacity.
+        # The packer works unpack-then-repack: all victims are removed at
+        # once so it sees the freed capacity, then re-placed.  The resulting
+        # moves are only *jointly* feasible — emitted naively, one victim's
+        # destination may still be occupied by another victim that moves
+        # later in the list.  Keep a snapshot of the stage-start state and
+        # linearize the final assignment through order_migrations so the plan
+        # replays one migration at a time (cyclic leftovers are appended and
+        # skipped on application, mirroring production staleness handling).
+        stage_start = state.copy()
         original: Dict[int, Placement] = {}
         for vm_id in victims:
             original[vm_id] = state.remove_vm(vm_id)
-        moved = 0
+        assignment: Dict[int, int] = {}
+        numa_targets: Dict[int, int] = {}
         # Re-place in decreasing CPU order (first-fit decreasing flavour).
         for vm_id in sorted(victims, key=lambda v: -state.vms[v].cpu):
             placement = self._pack(state, vm_id)
@@ -84,9 +94,11 @@ class AlphaVBPP(Rescheduler):
                 placement = original[vm_id]
             state.place_vm(vm_id, placement, honor_affinity=False)
             if placement.pm_id != original[vm_id].pm_id:
-                plan.append(Migration(vm_id=vm_id, dest_pm_id=placement.pm_id, dest_numa_id=placement.numa_id))
-                moved += 1
-        return moved
+                assignment[vm_id] = placement.pm_id
+                numa_targets[vm_id] = placement.numa_id
+        for migration in order_migrations(stage_start, assignment, numa_targets):
+            plan.append(migration)
+        return len(assignment)
 
     def _select_victims(self, state: ClusterState, count: int) -> List[int]:
         """VMs on the most fragmented PMs whose removal helps the most."""

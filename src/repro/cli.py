@@ -8,12 +8,18 @@ without writing Python:
 ``python -m repro.cli train``
     Train a VMR2L agent on a dataset's training split and save the checkpoint.
 ``python -m repro.cli evaluate``
-    Evaluate a checkpoint (and optionally the baselines) on the test split.
+    Evaluate planners (the RL agent and/or baselines) on the test split.
 ``python -m repro.cli plan``
     Compute a migration plan for a single mapping snapshot and print it.
+``python -m repro.cli serve``
+    Run the JSON planning service over HTTP (or handle one request with
+    ``--once``).
 
-Every subcommand prints a compact table and returns machine-readable JSON when
-``--json`` is given.
+``plan``, ``evaluate`` and ``serve`` are thin clients of the same
+:class:`repro.serve.ReschedulingService`, so the CLI, the HTTP server and the
+tests exercise one code path (see ``docs/serving.md``).  Every subcommand
+prints a compact table and returns machine-readable JSON when ``--json`` is
+given.
 """
 
 from __future__ import annotations
@@ -25,11 +31,21 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .analysis import format_table, render_trace, trace_plan
-from .baselines import FilteringHeuristic, MIPRescheduler, POPRescheduler, evaluate_plan
+from .baselines import FilteringHeuristic, MIPRescheduler, POPRescheduler
 from .cluster import ClusterState, ConstraintConfig
 from .core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
 from .datasets import DatasetReader, build_dataset, get_spec, load_mappings, spec_for_workload
+from .serve import (
+    PlanError,
+    PlanRequest,
+    PlanningServer,
+    ReschedulingService,
+    ServiceConfig,
+    build_default_registry,
+)
 
+#: Deprecated — kept for backwards compatibility with pre-serve scripts.
+#: Use :func:`repro.serve.build_default_registry` instead.
 BASELINE_FACTORIES = {
     "ha": lambda: FilteringHeuristic(),
     "mip": lambda: MIPRescheduler(time_limit_s=60.0),
@@ -63,20 +79,46 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--json", action="store_true")
 
-    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint and baselines on the test split")
+    evaluate = subparsers.add_parser("evaluate", help="evaluate planners on the test split")
     evaluate.add_argument("--dataset", required=True)
     evaluate.add_argument("--checkpoint", default=None, help="VMR2L checkpoint to evaluate")
-    evaluate.add_argument("--baselines", default="ha", help="comma-separated subset of: ha,mip,pop")
+    evaluate.add_argument("--baselines", default="ha",
+                          help="comma-separated registry keys (e.g. ha,vbpp,mip,pop,mcts,random)")
     evaluate.add_argument("--migration-limit", type=int, default=10)
     evaluate.add_argument("--max-mappings", type=int, default=3)
+    evaluate.add_argument("--objective", default="fragment_rate")
+    evaluate.add_argument("--sampled", action="store_true",
+                          help="risk-seeking (sampled) RL planning instead of greedy")
     evaluate.add_argument("--json", action="store_true")
 
     plan = subparsers.add_parser("plan", help="compute a migration plan for one mapping")
     plan.add_argument("--mapping", required=True, help="JSON-lines file; the first mapping is used")
-    plan.add_argument("--checkpoint", default=None, help="VMR2L checkpoint (defaults to the HA heuristic)")
+    plan.add_argument("--planner", default=None,
+                      help="planner registry key (default: ha, or vmr2l when --checkpoint is given)")
+    plan.add_argument("--checkpoint", default=None, help="VMR2L checkpoint backing the rl planner")
     plan.add_argument("--migration-limit", type=int, default=10)
+    plan.add_argument("--objective", default="fragment_rate")
     plan.add_argument("--visualize", action="store_true", help="render per-step NUMA occupancy")
     plan.add_argument("--json", action="store_true")
+
+    serve = subparsers.add_parser("serve", help="run the JSON planning service over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--checkpoint", default=None, help="VMR2L checkpoint backing the rl planner")
+    serve.add_argument("--max-batch-size", type=int, default=8,
+                       help="micro-batch size for concurrent greedy RL requests")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="max time a request waits for a micro-batch to fill")
+    serve.add_argument("--no-micro-batching", action="store_true",
+                       help="dispatch every request individually")
+    serve.add_argument("--fast-only", action="store_true",
+                       help="register only the low-latency planners (rl, ha, vbpp, random)")
+    serve.add_argument("--once", action="store_true",
+                       help="handle one request from --request (or stdin) and exit")
+    serve.add_argument("--request", default=None,
+                       help="path to a PlanRequest JSON file ('-' for stdin) used with --once")
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.add_argument("--json", action="store_true")
     return parser
 
 
@@ -130,29 +172,53 @@ def cmd_train(args) -> Dict:
     return summary
 
 
+def _build_service(args, max_batch_size: int = 8) -> ReschedulingService:
+    """One registry + service for the thin-client subcommands."""
+    checkpoint = getattr(args, "checkpoint", None)
+    registry = build_default_registry(
+        checkpoint=checkpoint,
+        include_slow=not getattr(args, "fast_only", False),
+    )
+    config = ServiceConfig(
+        max_batch_size=max_batch_size,
+        max_wait_ms=getattr(args, "max_wait_ms", 2.0),
+        micro_batching=not getattr(args, "no_micro_batching", False),
+    )
+    return ReschedulingService(registry, config)
+
+
 def cmd_evaluate(args) -> List[Dict]:
     reader = DatasetReader(args.dataset)
     test_states = reader.load_split("test", limit=args.max_mappings)
-    planners = []
-    for name in [token.strip().lower() for token in args.baselines.split(",") if token.strip()]:
-        if name not in BASELINE_FACTORIES:
-            raise SystemExit(f"unknown baseline {name!r}; choose from {sorted(BASELINE_FACTORIES)}")
-        planners.append(BASELINE_FACTORIES[name]())
-    if args.checkpoint:
-        planners.append(VMR2LAgent.load(args.checkpoint))
+    service = _build_service(args, max_batch_size=max(len(test_states), 1))
+    planner_keys = [token.strip().lower() for token in args.baselines.split(",") if token.strip()]
+    if args.checkpoint and "vmr2l" not in planner_keys:
+        planner_keys.append("vmr2l")
+    for key in planner_keys:
+        if key not in service.registry:
+            raise SystemExit(f"unknown planner {key!r}; choose from {service.registry.names()}")
+
     rows = []
-    for planner in planners:
-        finals, times = [], []
-        for state in test_states:
-            result = planner.compute_plan(state, args.migration_limit)
-            evaluation = evaluate_plan(state, result)
-            finals.append(evaluation.final_objective)
-            times.append(evaluation.inference_seconds)
+    for key in planner_keys:
+        requests = [
+            PlanRequest.from_state(
+                state,
+                planner=key,
+                migration_limit=args.migration_limit,
+                objective=args.objective,
+                greedy=not args.sampled,
+            )
+            for state in test_states
+        ]
+        replies = service.handle_many(requests)
+        failures = [reply for reply in replies if isinstance(reply, PlanError)]
+        if failures:
+            raise SystemExit(f"planner {key!r} failed: {failures[0].message}")
         rows.append(
             {
-                "algorithm": planner.name,
-                "mean_fragment_rate": sum(finals) / len(finals),
-                "mean_inference_s": sum(times) / len(times),
+                "algorithm": replies[0].planner,
+                "mean_fragment_rate": sum(r.final_objective for r in replies) / len(replies),
+                "mean_inference_s": sum(r.metrics["planner_seconds"] for r in replies) / len(replies),
                 "mappings": len(test_states),
             }
         )
@@ -165,21 +231,55 @@ def cmd_plan(args) -> Dict:
     if not states:
         raise SystemExit(f"no mappings found in {args.mapping}")
     state = states[0]
-    planner = VMR2LAgent.load(args.checkpoint) if args.checkpoint else FilteringHeuristic()
-    result = planner.compute_plan(state, args.migration_limit)
-    evaluation = evaluate_plan(state, result)
+    planner_key = args.planner or ("vmr2l" if args.checkpoint else "ha")
+    service = _build_service(args)
+    request = PlanRequest.from_state(
+        state,
+        planner=planner_key,
+        migration_limit=args.migration_limit,
+        objective=args.objective,
+    )
+    reply = service.handle(request)
+    if isinstance(reply, PlanError):
+        raise SystemExit(f"planning failed ({reply.code}): {reply.message}")
     summary = {
-        "algorithm": planner.name,
-        "initial_fragment_rate": evaluation.initial_objective,
-        "final_fragment_rate": evaluation.final_objective,
-        "migrations": [(m.vm_id, m.dest_pm_id) for m in result.plan],
-        "inference_s": result.inference_seconds,
+        "algorithm": reply.planner,
+        "initial_fragment_rate": reply.initial_objective,
+        "final_fragment_rate": reply.final_objective,
+        "migrations": [(m["vm_id"], m["dest_pm_id"]) for m in reply.migrations],
+        "inference_s": reply.metrics["planner_seconds"],
     }
-    _emit(args, [dict(summary, migrations=len(result.plan))], title="plan summary")
+    _emit(args, [dict(summary, migrations=len(reply.migrations))], title="plan summary")
     if args.visualize and not args.json:
         print()
-        print(render_trace(trace_plan(state, result.plan), max_steps=10))
+        print(render_trace(trace_plan(state, reply.plan()), max_steps=10))
     return summary
+
+
+def cmd_serve(args) -> Dict:
+    service = _build_service(args, max_batch_size=args.max_batch_size)
+    if args.once:
+        if args.request in (None, "-"):
+            text = sys.stdin.read()
+        else:
+            text = Path(args.request).read_text()
+        request = PlanRequest.from_json(text)
+        reply = service.handle(request)
+        payload = reply.to_dict()
+        print(json.dumps(payload, indent=None if args.json else 2, default=str))
+        return payload
+
+    server = PlanningServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.address
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(planners: {', '.join(service.registry.names())})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return {"host": host, "port": port}
 
 
 def _emit(args, rows: Sequence[Dict], title: str) -> None:
@@ -197,6 +297,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "train": cmd_train,
         "evaluate": cmd_evaluate,
         "plan": cmd_plan,
+        "serve": cmd_serve,
     }
     handlers[args.command](args)
     return 0

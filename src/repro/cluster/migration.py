@@ -104,12 +104,23 @@ def apply_plan(
                 skipped.append(migration)
                 continue
             raise ValueError(f"migration {migration} is infeasible")
-        working.migrate_vm(
-            migration.vm_id,
-            migration.dest_pm_id,
-            dest_numa_id=migration.dest_numa_id,
-            honor_affinity=honor_affinity,
-        )
+        try:
+            working.migrate_vm(
+                migration.vm_id,
+                migration.dest_pm_id,
+                dest_numa_id=migration.dest_numa_id,
+                honor_affinity=honor_affinity,
+            )
+        except ValueError:
+            # The PM can host the VM but the step's *explicit* NUMA target
+            # cannot (e.g. a planner chose it assuming another migration had
+            # already vacated the node).  migrate_vm is atomic — the VM is
+            # back on its source — so treat the step as stale like any other
+            # infeasible migration instead of crashing the evaluation.
+            if not skip_infeasible:
+                raise
+            skipped.append(migration)
+            continue
         applied.append(migration)
     result = PlanApplicationResult(
         applied=applied,

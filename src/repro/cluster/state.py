@@ -361,7 +361,14 @@ class ClusterState:
         return clone
 
     def to_dict(self) -> Dict:
-        """Serialize to the dataset mapping format (see repro.datasets.schema)."""
+        """Serialize to the dataset mapping format (see repro.datasets.schema).
+
+        The payload round-trips everything :meth:`copy` preserves — PM/VM
+        flavors, placements (including NUMA targets and double-NUMA markers),
+        anti-affinity groups and the cluster's ``fragment_cores`` — so a
+        deserialized state reproduces the original fragment rate, feasibility
+        masks and SoA view exactly.
+        """
         return {
             "fragment_cores": self.fragment_cores,
             "pms": [
@@ -415,4 +422,19 @@ class ClusterState:
                     anti_affinity_group=vm_spec.get("anti_affinity_group"),
                 )
             )
-        return cls(pms=pms, vms=vms, fragment_cores=int(payload.get("fragment_cores", 16)))
+        fragment_cores = int(
+            payload.get("fragment_cores", fragmentation.DEFAULT_FRAGMENT_CORES)
+        )
+        return cls(pms=pms, vms=vms, fragment_cores=fragment_cores)
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict` (one line, used by requests/datasets)."""
+        import json
+
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterState":
+        import json
+
+        return cls.from_dict(json.loads(text))

@@ -9,12 +9,13 @@ sampled and the best is returned.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..baselines.base import Rescheduler
+from ..baselines.base import Rescheduler, ReschedulingResult
 from ..cluster import ClusterState, ConstraintConfig, MigrationPlan
 from ..env.objectives import FragmentRateObjective, Objective
 from ..env.vmr_env import VMRescheduleEnv
@@ -122,6 +123,138 @@ class VMR2LAgent(Rescheduler):
 
     def _last_info(self) -> Dict:
         return dict(self._info)
+
+    def plan_batch(
+        self,
+        states: Sequence[ClusterState],
+        migration_limits: Union[int, Sequence[int]] = 10,
+        greedy: bool = True,
+        seed: int = 0,
+        objective: Optional[Objective] = None,
+        max_active: Optional[int] = None,
+    ) -> List[ReschedulingResult]:
+        """Plan for several snapshots with micro-batched policy forwards.
+
+        Episodes advance in lock-step: at each step the observations of the
+        running episodes go through ONE :meth:`TwoStagePolicy.act_batch` call
+        (a single stacked extractor forward when the clusters share a size),
+        instead of one full forward per request.  In greedy mode the sampled
+        action is the argmax of the same masked distribution the per-request
+        :meth:`plan_single_trajectory` path computes, so micro-batched plans
+        are identical to sequential ones.
+
+        ``migration_limits`` may be a single limit or one per state.
+        ``max_active`` caps the number of concurrently-running episodes;
+        batching is *continuous*: when an episode finishes early (no movable
+        VM, limit reached) a queued snapshot is admitted into the freed slot,
+        keeping the stacked forward full.
+        """
+        states = list(states)
+        if not states:
+            return []
+        if isinstance(migration_limits, int):
+            migration_limits = [migration_limits] * len(states)
+        migration_limits = [int(limit) for limit in migration_limits]
+        if len(migration_limits) != len(states):
+            raise ValueError("need one migration limit per state")
+        if any(limit < 0 for limit in migration_limits):
+            raise ValueError("migration_limit must not be negative")
+        if max_active is not None and max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        objective = objective or self.objective
+        rng = np.random.default_rng(seed)
+        illegal_penalty = -5.0 if self.policy.config.action_mode == "penalty" else None
+        joint_mode = self.policy.config.action_mode == "full_joint"
+        slots = max_active if max_active is not None else len(states)
+
+        start = time.perf_counter()
+        envs: List[Optional[VMRescheduleEnv]] = [None] * len(states)
+        observations: List = [None] * len(states)
+        waiting: List[int] = []
+        for index, limit in enumerate(migration_limits):
+            if limit > 0:
+                waiting.append(index)
+        waiting.reverse()  # pop() admits in request order
+        active: List[int] = []
+
+        def admit() -> None:
+            while waiting and len(active) < slots:
+                index = waiting.pop()
+                config = ConstraintConfig(
+                    migration_limit=migration_limits[index],
+                    honor_anti_affinity=self.constraint_config.honor_anti_affinity,
+                    allow_source_pm=self.constraint_config.allow_source_pm,
+                    check_memory=self.constraint_config.check_memory,
+                )
+                env = VMRescheduleEnv(
+                    states[index],
+                    config,
+                    objective=objective,
+                    illegal_action_penalty=illegal_penalty,
+                )
+                envs[index] = env
+                observations[index] = env.reset()
+                active.append(index)
+
+        while active or waiting:
+            admit()
+            # Episodes whose observation has no movable VM end immediately
+            # (mirrors the rollout_trajectory loop guard).
+            active = [i for i in active if observations[i].vm_mask.any()]
+            if not active:
+                continue
+            batch_obs = [observations[i] for i in active]
+            pm_mask_fns = [envs[i].pm_action_mask for i in active]
+            joint_masks = [envs[i].joint_action_mask() for i in active] if joint_mode else None
+            outputs = self.policy.act_batch(
+                batch_obs,
+                pm_mask_fns,
+                rng=rng,
+                greedy=greedy,
+                joint_masks=joint_masks,
+                compute_stats=False,
+            )
+            still_running: List[int] = []
+            for index, output in zip(active, outputs):
+                observation, _, done, _ = envs[index].step(output.action)
+                observations[index] = observation
+                if not done:
+                    still_running.append(index)
+            active = still_running
+        elapsed = time.perf_counter() - start
+
+        # Attribute the batch's wall time to requests by their share of
+        # decision steps, so per-request inference_seconds is comparable to
+        # the per-request timing of sequentially-dispatched planners; the
+        # whole-batch wall time is kept in info["batch_seconds"].
+        total_steps = sum(env.steps_taken for env in envs if env is not None)
+        results: List[ReschedulingResult] = []
+        for index, env in enumerate(envs):
+            if env is None:
+                results.append(
+                    ReschedulingResult(
+                        plan=MigrationPlan(),
+                        inference_seconds=0.0,
+                        algorithm=self.name,
+                        info={"noop": True, "batch_size": min(len(states), slots)},
+                    )
+                )
+                continue
+            share = env.steps_taken / total_steps if total_steps else 1.0 / len(states)
+            results.append(
+                ReschedulingResult(
+                    plan=env.executed_plan().truncated(migration_limits[index]),
+                    inference_seconds=elapsed * share,
+                    algorithm=self.name,
+                    info={
+                        "batch_size": min(len(states), slots),
+                        "batch_seconds": elapsed,
+                        "final_objective": env.episode_metric(),
+                        "greedy": greedy,
+                    },
+                )
+            )
+        return results
 
     def plan_single_trajectory(
         self, state: ClusterState, migration_limit: int, greedy: bool = True, seed: int = 0

@@ -36,9 +36,6 @@ class FeatureBatch:
 
     pm_features: Tensor
     vm_features: Tensor
-    #: (num_vms + num_pms) x (num_vms + num_pms) mask for tree-local attention,
-    #: ordered [PMs..., VMs...]; leading batch axis when stacked.
-    tree_mask: np.ndarray
     #: (num_vms, num_pms) membership matrix (VM i hosted on PM j); leading
     #: batch axis when stacked.
     membership: np.ndarray
@@ -47,6 +44,9 @@ class FeatureBatch:
     num_vms: int
     #: Number of stacked observations, or None for a single observation.
     batch_size: Optional[int] = None
+    #: Dense tree mask cache; see :attr:`tree_mask`.  Stacked batches normally
+    #: attend through :meth:`tree_grouping` and never materialize it.
+    _dense_tree_mask: Optional[np.ndarray] = field(default=None, repr=False)
     #: Lazily-built grouped layout for sparse tree attention (stacked batches).
     _tree_grouping: Optional["TreeGrouping"] = field(default=None, repr=False)
     #: Per-row tree layouts: cached on single-observation batches (the host
@@ -58,6 +58,27 @@ class FeatureBatch:
     @property
     def sequence_length(self) -> int:
         return self.num_pms + self.num_vms
+
+    @property
+    def tree_mask(self) -> np.ndarray:
+        """Dense ``(seq, seq)`` tree-local attention mask (``[PMs..., VMs...]``
+        order; leading batch axis when stacked), built lazily from the
+        membership matrix.
+
+        The stacked hot path attends inside grouped trees
+        (:meth:`tree_grouping`) and never reads this — building it eagerly
+        cost one ``O(seq²)`` mask per environment per step.  It materializes
+        only for the single-observation dense stage, the reference-mode
+        benchmarks and the parity tests.
+        """
+        if self._dense_tree_mask is None:
+            if self.batch_size is None:
+                self._dense_tree_mask = build_tree_mask(self.membership)
+            else:
+                self._dense_tree_mask = np.stack(
+                    [build_tree_mask(member) for member in self.membership], axis=0
+                )
+        return self._dense_tree_mask
 
     def tree_layout(self) -> list:
         """Per-tree local position arrays for a single observation (cached)."""
@@ -91,11 +112,9 @@ class FeatureBatch:
 def build_feature_batch(observation: Observation) -> FeatureBatch:
     """Convert an observation into tensors plus attention masks."""
     membership = observation.tree_membership()
-    tree_mask = build_tree_mask(membership)
     return FeatureBatch(
         pm_features=Tensor(observation.pm_features.copy()),
         vm_features=Tensor(observation.vm_features.copy()),
-        tree_mask=tree_mask,
         membership=membership,
         vm_mask=observation.vm_mask.copy(),
         num_pms=observation.num_pms,
@@ -119,13 +138,9 @@ def build_stacked_feature_batch(observations: Sequence[Observation]) -> FeatureB
         raise ValueError(f"observations disagree on cluster size: {sorted(sizes)}")
 
     membership = np.stack([obs.tree_membership() for obs in observations], axis=0)
-    tree_mask = np.stack(
-        [build_tree_mask(member) for member in membership], axis=0
-    )
     return FeatureBatch(
         pm_features=Tensor(np.stack([obs.pm_features for obs in observations], axis=0)),
         vm_features=Tensor(np.stack([obs.vm_features for obs in observations], axis=0)),
-        tree_mask=tree_mask,
         membership=membership,
         vm_mask=np.stack([obs.vm_mask for obs in observations], axis=0),
         num_pms=observations[0].num_pms,
@@ -265,16 +280,24 @@ def _grouping_from_layouts(layouts: Sequence[list], seq: int) -> TreeGrouping:
         group + row * seq for row, layout in enumerate(layouts) for group in layout
     ]
 
-    # Split into ≤2 size buckets at the cut minimizing padded score area.
+    # Split into ≤2 size buckets at the cut minimizing padded score area —
+    # but only when splitting at least halves the area.  Every bucket costs a
+    # full encoder-layer pass (a dozen tensor ops), so on the overhead-bound
+    # shapes of serving micro-batches one padded pass beats two lean ones;
+    # the split pays off on skewed layouts (one big tree + many singletons)
+    # where padding everything to the largest tree would explode the area.
     sizes = np.array([group.size for group in groups])
     unique_sizes = np.unique(sizes)
     largest = int(unique_sizes[-1])
-    best_area, split = len(groups) * largest * largest, None
+    single_area = len(groups) * largest * largest
+    best_area, split = single_area, None
     for cut in unique_sizes[:-1]:
         small = int((sizes <= cut).sum())
         area = small * int(cut) ** 2 + (len(groups) - small) * largest * largest
         if area < best_area:
             best_area, split = area, int(cut)
+    if split is not None and best_area * 2 > single_area:
+        split = None
     if split is None:
         buckets = [_pad_bucket(groups, largest)]
     else:
@@ -314,7 +337,6 @@ def stack_feature_batches(batches: Sequence[FeatureBatch]) -> FeatureBatch:
     return FeatureBatch(
         pm_features=Tensor(np.stack([b.pm_features.data for b in batches], axis=0)),
         vm_features=Tensor(np.stack([b.vm_features.data for b in batches], axis=0)),
-        tree_mask=np.stack([b.tree_mask for b in batches], axis=0),
         membership=np.stack([b.membership for b in batches], axis=0),
         vm_mask=np.stack([b.vm_mask for b in batches], axis=0),
         num_pms=batches[0].num_pms,

@@ -75,6 +75,32 @@ def _apply_threshold(probs: np.ndarray, quantile: Optional[float]) -> np.ndarray
     return thresholded / thresholded.sum()
 
 
+def _masked_softmax_rows(logits: np.ndarray, masks: Optional[np.ndarray]) -> np.ndarray:
+    """Row-wise masked softmax on raw arrays — the batched-sampling hot path.
+
+    Elementwise-identical to calling :func:`F.masked_softmax` on each row
+    (same operation order: fill, shifted softmax, leakage zeroing,
+    renormalize; all-masked rows fall back to uniform), but one vectorized
+    computation replaces ``batch`` Tensor-graph constructions per step.
+    """
+    if masks is None:
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=-1, keepdims=True)
+        return shifted
+    masks = np.asarray(masks, dtype=bool)
+    filled = np.where(masks, logits, F.MASK_FILL_VALUE)
+    filled -= filled.max(axis=-1, keepdims=True)
+    np.exp(filled, out=filled)
+    filled /= filled.sum(axis=-1, keepdims=True)
+    probs = filled * masks
+    probs /= probs.sum(axis=-1, keepdims=True) + 1e-12
+    empty = ~masks.any(axis=-1)
+    if empty.any():
+        probs[empty] = 1.0 / logits.shape[-1]
+    return probs
+
+
 def _homogeneous(masks: Sequence[Optional[np.ndarray]]) -> bool:
     """Whether a mask column can be stacked: all present or all absent."""
     has_mask = [mask is not None for mask in masks]
@@ -121,12 +147,16 @@ class TwoStagePolicy(Module):
         joint_mask: Optional[np.ndarray] = None,
         vm_threshold_quantile: Optional[float] = None,
         pm_threshold_quantile: Optional[float] = None,
+        compute_stats: bool = True,
     ) -> PolicyOutput:
         """Select a (VM, PM) action for ``observation``.
 
         ``pm_mask_fn`` maps a chosen VM index to the stage-2 feasibility mask
         (usually ``env.pm_action_mask``); it is only consulted in ``two_stage``
         mode.  ``joint_mask`` is required in ``full_joint`` mode.
+        ``compute_stats=False`` skips the entropy terms (reported as 0.0) —
+        the sampled action and probabilities are unchanged; serving rollouts
+        use it since only PPO consumes the entropy.
         """
         batch = build_feature_batch(observation)
         extractor_output = self.extractor(batch)
@@ -149,10 +179,12 @@ class TwoStagePolicy(Module):
         pm_index = F.sample_categorical(pm_probs, rng, greedy=greedy)
 
         log_prob = float(np.log(vm_probs[vm_index] + 1e-12) + np.log(pm_probs[pm_index] + 1e-12))
-        entropy = float(
-            F.categorical_entropy(vm_logits.reshape(1, -1), None if vm_mask is None else vm_mask[None, :]).numpy()[0]
-            + F.categorical_entropy(pm_logits.reshape(1, -1), None if pm_mask is None else pm_mask[None, :]).numpy()[0]
-        )
+        entropy = 0.0
+        if compute_stats:
+            entropy = float(
+                F.categorical_entropy(vm_logits.reshape(1, -1), None if vm_mask is None else vm_mask[None, :]).numpy()[0]
+                + F.categorical_entropy(pm_logits.reshape(1, -1), None if pm_mask is None else pm_mask[None, :]).numpy()[0]
+            )
         return PolicyOutput(
             vm_index=vm_index,
             pm_index=pm_index,
@@ -172,6 +204,7 @@ class TwoStagePolicy(Module):
         joint_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
         vm_threshold_quantile: Optional[float] = None,
         pm_threshold_quantile: Optional[float] = None,
+        compute_stats: bool = True,
     ) -> List[PolicyOutput]:
         """Act on several observations with ONE extractor forward pass.
 
@@ -199,6 +232,7 @@ class TwoStagePolicy(Module):
                     joint_mask=joint_mask,
                     vm_threshold_quantile=vm_threshold_quantile,
                     pm_threshold_quantile=pm_threshold_quantile,
+                    compute_stats=compute_stats,
                 )
                 for observation, pm_mask_fn, joint_mask in zip(
                     observations, pm_mask_fns, joint_masks
@@ -212,51 +246,68 @@ class TwoStagePolicy(Module):
         # Critic: ValueHead handles the leading batch axis itself.
         values = self.value_head(extractor_output)
 
-        # Stage 1: one batched VM-actor forward, sampled per observation.
+        # Stage 1: one batched VM-actor forward; probabilities for the whole
+        # step come from ONE vectorized masked softmax on the raw logits
+        # (elementwise-identical to the per-row Tensor path), sampled per row.
         use_masks = self.config.action_mode == "two_stage"
         vm_logit_rows = self.vm_actor(extractor_output)  # (batch, V)
+        vm_mask_rows = (
+            np.stack([observation.vm_mask for observation in observations], axis=0)
+            if use_masks
+            else None
+        )
+        vm_prob_rows = _masked_softmax_rows(vm_logit_rows.numpy(), vm_mask_rows)
         vm_indices: List[int] = []
         vm_probs_list: List[np.ndarray] = []
         vm_entropies: List[float] = []
         for index, observation in enumerate(observations):
-            vm_logits = vm_logit_rows[index]
-            vm_mask = observation.vm_mask if use_masks else None
-            vm_probs = F.masked_softmax(vm_logits, vm_mask).numpy()
-            vm_probs = _apply_threshold(vm_probs, vm_threshold_quantile)
+            vm_probs = _apply_threshold(vm_prob_rows[index], vm_threshold_quantile)
             vm_index = F.sample_categorical(vm_probs, rng, greedy=greedy)
             vm_indices.append(vm_index)
             vm_probs_list.append(vm_probs)
-            vm_entropies.append(
-                float(
-                    F.categorical_entropy(
-                        vm_logits.reshape(1, -1),
-                        None if vm_mask is None else vm_mask[None, :],
-                    ).numpy()[0]
+            if compute_stats:
+                vm_mask = observation.vm_mask if use_masks else None
+                vm_entropies.append(
+                    float(
+                        F.categorical_entropy(
+                            vm_logit_rows[index].reshape(1, -1),
+                            None if vm_mask is None else vm_mask[None, :],
+                        ).numpy()[0]
+                    )
                 )
-            )
+            else:
+                vm_entropies.append(0.0)
 
         # Stage 2: the PM decoder runs batched inside PMActor — each row's PMs
         # cross-attend to that row's selected VM embedding, and the stage-3
-        # score bias is gathered per row.
+        # score bias is gathered per row.  Sampling is vectorized like stage 1.
         pm_logit_rows = self.pm_actor.forward_batch(extractor_output, vm_indices)
+        pm_mask_rows = (
+            np.stack(
+                [pm_mask_fns[i](vm_indices[i]) for i in range(num_envs)], axis=0
+            )
+            if use_masks
+            else None
+        )
+        pm_prob_rows = _masked_softmax_rows(pm_logit_rows.numpy(), pm_mask_rows)
 
         outputs: List[PolicyOutput] = []
         for index, observation in enumerate(observations):
-            pm_logits = pm_logit_rows[index]
-            pm_mask = pm_mask_fns[index](vm_indices[index]) if use_masks else None
-            pm_probs = F.masked_softmax(pm_logits, pm_mask).numpy()
-            pm_probs = _apply_threshold(pm_probs, pm_threshold_quantile)
+            pm_probs = _apply_threshold(pm_prob_rows[index], pm_threshold_quantile)
             pm_index = F.sample_categorical(pm_probs, rng, greedy=greedy)
             log_prob = float(
                 np.log(vm_probs_list[index][vm_indices[index]] + 1e-12)
                 + np.log(pm_probs[pm_index] + 1e-12)
             )
-            entropy = vm_entropies[index] + float(
-                F.categorical_entropy(
-                    pm_logits.reshape(1, -1),
-                    None if pm_mask is None else pm_mask[None, :],
-                ).numpy()[0]
-            )
+            entropy = vm_entropies[index]
+            if compute_stats:
+                pm_mask = None if pm_mask_rows is None else pm_mask_rows[index]
+                entropy += float(
+                    F.categorical_entropy(
+                        pm_logit_rows[index].reshape(1, -1),
+                        None if pm_mask is None else pm_mask[None, :],
+                    ).numpy()[0]
+                )
             outputs.append(
                 PolicyOutput(
                     vm_index=vm_indices[index],

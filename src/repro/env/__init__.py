@@ -14,6 +14,7 @@ from .objectives import (
     MixedFragmentObjective,
     MixedResourceObjective,
     Objective,
+    available_objectives,
     make_objective,
 )
 from .observation import (
@@ -56,5 +57,6 @@ __all__ = [
     "Tuple",
     "VMRescheduleEnv",
     "VM_FEATURE_DIM",
+    "available_objectives",
     "make_objective",
 ]

@@ -178,16 +178,29 @@ class MixedResourceObjective(Objective):
         }
 
 
+#: Name → class registry shared by benchmarks, config files and the serving
+#: layer (``PlanRequest.objective`` is resolved through :func:`make_objective`).
+OBJECTIVE_REGISTRY = {
+    "fragment_rate": FragmentRateObjective,
+    "min_migrations": MigrationMinimizationObjective,
+    "mixed_fr16_fr64": MixedFragmentObjective,
+    "mixed_fr16_mem64": MixedResourceObjective,
+}
+
+
+def available_objectives() -> list:
+    """Sorted names accepted by :func:`make_objective`."""
+    return sorted(OBJECTIVE_REGISTRY)
+
+
 def make_objective(name: str, **kwargs) -> Objective:
-    """Factory used by benchmark scripts and config files."""
-    registry = {
-        "fragment_rate": FragmentRateObjective,
-        "min_migrations": MigrationMinimizationObjective,
-        "mixed_fr16_fr64": MixedFragmentObjective,
-        "mixed_fr16_mem64": MixedResourceObjective,
-    }
+    """Factory used by benchmark scripts, config files and the serve schemas.
+
+    Raises ``KeyError`` for unknown names and ``TypeError``/``ValueError`` for
+    invalid parameters, which the service layer maps to ``PlanError`` codes.
+    """
     try:
-        factory = registry[name]
+        factory = OBJECTIVE_REGISTRY[name]
     except KeyError:
-        raise KeyError(f"unknown objective {name!r}; known: {sorted(registry)}")
+        raise KeyError(f"unknown objective {name!r}; known: {available_objectives()}")
     return factory(**kwargs)

@@ -1,0 +1,49 @@
+"""Unified planning service: one request/response API for every algorithm.
+
+* :mod:`repro.serve.schemas` — versioned :class:`PlanRequest` /
+  :class:`PlanResponse` / :class:`PlanError` with JSON round-tripping
+* :mod:`repro.serve.registry` — the :class:`Planner` protocol and the
+  registry unifying the VMR2L agent and every baseline
+* :mod:`repro.serve.service` — :class:`ReschedulingService`, which validates,
+  dispatches and micro-batches concurrent RL requests onto the vectorized
+  ``act_batch`` hot path
+* :mod:`repro.serve.server` — a stdlib ThreadingHTTPServer JSON frontend
+  (``repro serve``)
+
+See ``docs/serving.md`` for the API reference and a curl example.
+"""
+
+from .registry import (
+    BaselinePlanner,
+    Planner,
+    PlannerRegistry,
+    RLPlanner,
+    build_default_registry,
+)
+from .schemas import (
+    SCHEMA_VERSION,
+    PlanError,
+    PlanRequest,
+    PlanResponse,
+    SchemaError,
+    response_from_dict,
+)
+from .server import PlanningServer
+from .service import ReschedulingService, ServiceConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BaselinePlanner",
+    "Planner",
+    "PlannerRegistry",
+    "PlanError",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanningServer",
+    "ReschedulingService",
+    "RLPlanner",
+    "SchemaError",
+    "ServiceConfig",
+    "build_default_registry",
+    "response_from_dict",
+]

@@ -1,0 +1,151 @@
+"""Stdlib HTTP frontend for the rescheduling service.
+
+A :class:`~http.server.ThreadingHTTPServer` exposes the unified planning API
+as JSON over HTTP — no third-party dependencies:
+
+* ``POST /v1/plan`` — body is a :class:`PlanRequest` JSON object; the reply is
+  the matching :class:`PlanResponse` (HTTP 200) or :class:`PlanError`
+  (HTTP 400/404/500 by error code).
+* ``GET /v1/planners`` — the registry listing (names, capabilities).
+* ``GET /healthz`` — liveness probe with service statistics.
+
+Handler threads enqueue into the shared :class:`ReschedulingService`; its
+single worker thread micro-batches concurrent requests onto the vectorized
+policy path, so throughput *improves* under concurrency instead of degrading
+through lock contention.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .schemas import PlanError, PlanRequest, SchemaError
+from .service import ReschedulingService
+
+#: HTTP status for each PlanError code.
+_ERROR_STATUS = {
+    "invalid_request": 400,
+    "unknown_objective": 400,
+    "deadline_exceeded": 408,
+    "unknown_planner": 404,
+    "internal_error": 500,
+}
+
+#: Largest accepted request body (64 MiB) — snapshots are large but bounded.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class PlanningRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the shared service (set as ``server.service``)."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802  (http.server naming)
+        if self.path in ("/healthz", "/health"):
+            self._send_json(200, {"status": "ok", "stats": self.server.service.stats()})
+        elif self.path == "/v1/planners":
+            self._send_json(200, {"planners": self.server.service.registry.describe()})
+        else:
+            self._send_json(404, {"ok": False, "code": "not_found",
+                                  "message": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/v1/plan":
+            self._send_json(404, {"ok": False, "code": "not_found",
+                                  "message": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, PlanError("", "invalid_request",
+                                           "missing or oversized request body").to_dict())
+            return
+        body = self.rfile.read(length)
+        try:
+            request = PlanRequest.from_json(body.decode("utf-8"))
+        except SchemaError as exc:
+            self._send_json(_ERROR_STATUS[exc.code],
+                            PlanError("", exc.code, str(exc)).to_dict())
+            return
+        reply = self.server.service.plan(request, timeout=self.server.request_timeout_s)
+        status = 200 if reply.ok else _ERROR_STATUS.get(reply.code, 500)
+        self._send_json(status, reply.to_dict())
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # quiet by default
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class PlanningServer:
+    """Owns the HTTP server + service lifecycle (start/stop, thread or blocking)."""
+
+    def __init__(
+        self,
+        service: ReschedulingService,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        request_timeout_s: float = 300.0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), PlanningRequestHandler)
+        self.httpd.service = service
+        self.httpd.request_timeout_s = request_timeout_s
+        self.httpd.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve in a background thread (used by tests and the CLI client)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the ``repro serve`` foreground mode)."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PlanningServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

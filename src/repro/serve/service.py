@@ -1,0 +1,395 @@
+"""The rescheduling service: validate → dispatch → micro-batch → respond.
+
+:class:`ReschedulingService` is the one code path every frontend uses (CLI,
+HTTP server, tests, benchmarks).  It has two entry modes:
+
+* **Synchronous** — :meth:`handle` / :meth:`handle_many`.  ``handle_many``
+  groups compatible greedy RL requests (same objective) into micro-batches of
+  up to ``max_batch_size`` and dispatches each group through ONE
+  ``plan_batch`` call, i.e. one stacked ``TwoStagePolicy`` forward per step
+  for the whole group.  Baselines and sampled RL requests dispatch per
+  request.
+* **Queued** — :meth:`start` + :meth:`submit`.  Handler threads (e.g. the
+  HTTP server) enqueue requests and block on a future; a single worker
+  thread drains the queue, waiting up to ``max_wait_ms`` for a batch of
+  ``max_batch_size`` to accumulate before dispatching.  This turns
+  concurrent single-request traffic into the same vectorized hot path, and
+  serializes all model access so the NumPy policy needs no locking.
+
+Every response carries ``latency_ms`` (receive → respond), ``queue_ms`` (wait
+for a batch slot), ``batch_size`` and ``inference_ms``, plus the plan-quality
+metrics (initial/final objective under the requested objective function).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..baselines.base import ReschedulingResult, evaluate_plan
+from ..cluster import ClusterState
+from .registry import Planner, PlannerRegistry, build_default_registry
+from .schemas import PlanError, PlanRequest, PlanResponse, SchemaError
+
+Reply = Union[PlanResponse, PlanError]
+
+
+@dataclass
+class ServiceConfig:
+    """Micro-batching and validation knobs."""
+
+    #: Largest number of requests fused into one ``plan_batch`` call.
+    max_batch_size: int = 8
+    #: How long the queue worker waits for more requests before dispatching.
+    max_wait_ms: float = 2.0
+    #: Disable to force per-request dispatch (used as the benchmark baseline).
+    micro_batching: bool = True
+    #: Reject snapshots above this VM count (simple overload protection).
+    max_snapshot_vms: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must not be negative")
+
+
+@dataclass
+class _Pending:
+    """A request travelling through the queued path."""
+
+    request: PlanRequest
+    future: Future
+    enqueued_at: float
+
+
+class ReschedulingService:
+    """Single entry point routing every planner behind the unified schema."""
+
+    def __init__(
+        self,
+        registry: Optional[PlannerRegistry] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else build_default_registry()
+        self.config = config or ServiceConfig()
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, float] = {
+            "requests": 0,
+            "errors": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Synchronous API
+    # ------------------------------------------------------------------ #
+    def handle(self, request: PlanRequest) -> Reply:
+        """Validate and plan one request (no queueing)."""
+        return self.handle_many([request])[0]
+
+    def handle_many(self, requests: Sequence[PlanRequest]) -> List[Reply]:
+        """Plan several requests, micro-batching the compatible ones.
+
+        Replies come back in request order.  A failure in one request never
+        affects the others: it is returned as a :class:`PlanError` in its
+        slot.
+        """
+        received = time.perf_counter()
+        replies: List[Optional[Reply]] = [None] * len(requests)
+        prepared: List[Tuple[int, PlanRequest, Planner, ClusterState, object]] = []
+        for index, request in enumerate(requests):
+            try:
+                planner, state, objective = self._prepare(request)
+            except SchemaError as exc:
+                replies[index] = self._error(request, exc.code, str(exc))
+            except KeyError as exc:
+                replies[index] = self._error(request, "unknown_planner", str(exc))
+            except Exception as exc:  # a bad request must never crash the service
+                replies[index] = self._error(
+                    request, "internal_error", f"request preparation failed: {exc}"
+                )
+            else:
+                prepared.append((index, request, planner, state, objective))
+
+        for group in self._group(prepared):
+            self._dispatch(group, replies, received, queue_ms=0.0)
+        return [
+            reply
+            if reply is not None
+            else self._error(requests[index], "internal_error", "lost reply slot")
+            for index, reply in enumerate(replies)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Queued micro-batching API
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the background batching worker (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="rescheduling-service", daemon=True
+        )
+        self._worker.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(None)  # wake the worker
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+            self._worker = None
+
+    def submit(self, request: PlanRequest) -> "Future[Reply]":
+        """Enqueue a request for the batching worker; resolves to a reply."""
+        if not self._running:
+            raise RuntimeError("service is not started; call start() first")
+        future: "Future[Reply]" = Future()
+        self._queue.put(_Pending(request=request, future=future, enqueued_at=time.perf_counter()))
+        return future
+
+    def plan(self, request: PlanRequest, timeout: Optional[float] = None) -> Reply:
+        """Submit and wait — the call handler threads use."""
+        return self.submit(request).result(timeout=timeout)
+
+    def stats(self) -> Dict[str, float]:
+        with self._stats_lock:
+            return dict(self._stats)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _prepare(self, request: PlanRequest):
+        """Validate a request and resolve its planner/state/objective."""
+        request.validate()
+        planner = self.registry.get(request.planner)
+        state = request.state()
+        if state.num_vms > self.config.max_snapshot_vms:
+            raise SchemaError(
+                f"snapshot has {state.num_vms} VMs, above the service limit "
+                f"of {self.config.max_snapshot_vms}",
+                code="invalid_request",
+            )
+        objective = request.build_objective()
+        return planner, state, objective
+
+    def _group(self, prepared) -> List[List]:
+        """Split prepared requests into dispatch groups.
+
+        Greedy requests for a ``batch``-capable planner with the same
+        objective spec go to that planner's ``plan_batch`` as one group (the
+        planner runs up to ``max_batch_size`` episodes concurrently,
+        continuously admitting queued snapshots into freed slots); everything
+        else forms singleton groups.
+        """
+        groups: List[List] = []
+        batchable: Dict[Tuple, List] = {}
+        for item in prepared:
+            _, request, planner, _, _ = item
+            if (
+                self.config.micro_batching
+                and request.greedy
+                and "batch" in planner.capabilities
+            ):
+                key = (
+                    id(planner),
+                    request.objective,
+                    tuple(sorted(request.objective_params.items())),
+                )
+                batchable.setdefault(key, []).append(item)
+            else:
+                groups.append([item])
+        groups.extend(batchable.values())
+        return groups
+
+    def _dispatch(
+        self,
+        group: List,
+        replies: List[Optional[Reply]],
+        received: float,
+        queue_ms: float,
+    ) -> None:
+        """Run one planner call for a group and fill the reply slots."""
+        planner: Planner = group[0][2]
+        states = [state for _, _, _, state, _ in group]
+        limits = [request.migration_limit for _, request, _, _, _ in group]
+        objective = group[0][4]
+        greedy = group[0][1].greedy
+        seed = group[0][1].seed
+        start = time.perf_counter()
+        try:
+            if len(group) > 1:
+                results = planner.plan_batch(
+                    states,
+                    limits,
+                    objective=objective,
+                    greedy=greedy,
+                    seed=seed,
+                    max_active=self.config.max_batch_size,
+                )
+            else:
+                results = [
+                    planner.plan(
+                        states[0], limits[0], objective=objective, greedy=greedy, seed=seed
+                    )
+                ]
+        except Exception as exc:  # planner bugs become structured errors
+            message = f"planner {planner.name!r} failed: {exc}"
+            for index, request, *_ in group:
+                replies[index] = self._error(request, "internal_error", message)
+            return
+        inference_ms = (time.perf_counter() - start) * 1e3
+        with self._stats_lock:
+            if len(group) > 1:
+                self._stats["batches"] += 1
+                self._stats["batched_requests"] += len(group)
+        # batch_size reports the effective concurrency (stacked-forward
+        # width); a group larger than max_batch_size streams through that
+        # many slots via continuous admission.
+        width = min(len(group), self.config.max_batch_size) if len(group) > 1 else 1
+        for (index, request, _, state, request_objective), result in zip(group, results):
+            replies[index] = self._respond(
+                request,
+                state,
+                request_objective,
+                result,
+                latency_ms=(time.perf_counter() - received) * 1e3,
+                queue_ms=queue_ms,
+                inference_ms=inference_ms,
+                batch_size=width,
+            )
+
+    def _respond(
+        self,
+        request: PlanRequest,
+        state: ClusterState,
+        objective,
+        result: ReschedulingResult,
+        latency_ms: float,
+        queue_ms: float,
+        inference_ms: float,
+        batch_size: int,
+    ) -> PlanResponse:
+        evaluation = evaluate_plan(state, result, objective=objective)
+        metrics = {
+            "latency_ms": latency_ms,
+            "queue_ms": queue_ms,
+            "inference_ms": inference_ms,
+            "batch_size": batch_size,
+            "planner_seconds": result.inference_seconds,
+        }
+        if request.deadline_ms is not None:
+            metrics["deadline_ms"] = request.deadline_ms
+            metrics["deadline_exceeded"] = latency_ms > request.deadline_ms
+        with self._stats_lock:
+            self._stats["requests"] += 1
+        return PlanResponse(
+            request_id=request.request_id,
+            planner=result.algorithm,
+            migrations=PlanResponse.migrations_payload(result.plan),
+            initial_objective=evaluation.initial_objective,
+            final_objective=evaluation.final_objective,
+            num_applied=evaluation.num_applied,
+            num_skipped=evaluation.num_skipped,
+            metrics=metrics,
+            info=dict(result.info),
+        )
+
+    def _error(self, request: PlanRequest, code: str, message: str) -> PlanError:
+        with self._stats_lock:
+            self._stats["requests"] += 1
+            self._stats["errors"] += 1
+        return PlanError(request_id=request.request_id, code=code, message=message)
+
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        """Drain the queue, fusing near-simultaneous requests into batches."""
+        while self._running:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is None:
+                continue
+            pending = [first]
+            deadline = time.perf_counter() + self.config.max_wait_ms / 1e3
+            while (
+                self.config.micro_batching
+                and len(pending) < self.config.max_batch_size
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    continue
+                pending.append(item)
+            try:
+                self._process_pending(pending)
+            except Exception as exc:  # keep the worker alive no matter what
+                for item in pending:
+                    if not item.future.done():
+                        item.future.set_result(
+                            self._error(item.request, "internal_error",
+                                        f"service worker error: {exc}")
+                        )
+
+    def _process_pending(self, pending: List[_Pending]) -> None:
+        received = time.perf_counter()
+        replies: List[Optional[Reply]] = [None] * len(pending)
+        prepared = []
+        for index, item in enumerate(pending):
+            request = item.request
+            try:
+                # Validate (via _prepare) BEFORE touching deadline_ms: only a
+                # validated request is known to carry a numeric deadline.
+                planner, state, objective = self._prepare(request)
+                if request.deadline_ms is not None:
+                    waited_ms = (received - item.enqueued_at) * 1e3
+                    if waited_ms > float(request.deadline_ms):
+                        raise SchemaError(
+                            f"request waited {waited_ms:.1f} ms in queue, above its "
+                            f"deadline of {request.deadline_ms} ms",
+                            code="deadline_exceeded",
+                        )
+            except SchemaError as exc:
+                replies[index] = self._error(request, exc.code, str(exc))
+            except KeyError as exc:
+                replies[index] = self._error(request, "unknown_planner", str(exc))
+            except Exception as exc:  # a bad request must never kill the worker
+                replies[index] = self._error(
+                    request, "internal_error", f"request preparation failed: {exc}"
+                )
+            else:
+                prepared.append((index, request, planner, state, objective))
+
+        for group in self._group(prepared):
+            slot = group[0][0]
+            queue_ms = (received - pending[slot].enqueued_at) * 1e3
+            self._dispatch(group, replies, received, queue_ms=max(queue_ms, 0.0))
+
+        for item, reply in zip(pending, replies):
+            if reply is None:  # defensive: every slot should be filled
+                reply = self._error(item.request, "internal_error", "lost reply slot")
+            item.future.set_result(reply)
+
+    # Context-manager sugar for tests and the CLI.
+    def __enter__(self) -> "ReschedulingService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -183,6 +183,27 @@ class TestMigrationPlan:
         with pytest.raises(ValueError):
             apply_plan(small_state, plan, skip_infeasible=False)
 
+    def test_apply_plan_skips_infeasible_explicit_numa(self, small_state):
+        # The PM can host VM 2 but the explicitly-requested NUMA cannot
+        # (planners that unpack-then-repack can emit such stale targets).
+        dest_pm = small_state.pms[0]
+        dest_numa = dest_pm.numas[0]
+        filler_cpu = dest_numa.free_cpu  # leave NUMA 0 with zero free CPU
+        from repro.cluster import Placement, PMType, VirtualMachine, VMType
+
+        if filler_cpu > 0:
+            filler = VirtualMachine(
+                vm_id=500,
+                vm_type=VMType("filler", cpu=int(filler_cpu), memory=1, numa_count=1),
+            )
+            small_state.add_vm(filler, Placement(pm_id=0, numa_id=0))
+        plan = MigrationPlan([Migration(vm_id=2, dest_pm_id=0, dest_numa_id=0)])
+        new_state, result = apply_plan(small_state, plan, skip_infeasible=True)
+        assert len(result.skipped) == 1
+        assert new_state.vms[2].pm_id == small_state.vms[2].pm_id  # still on source
+        with pytest.raises(ValueError):
+            apply_plan(small_state, plan, skip_infeasible=False)
+
     def test_apply_plan_in_place(self, small_state):
         plan = MigrationPlan([Migration(vm_id=2, dest_pm_id=0)])
         new_state, _ = apply_plan(small_state, plan, in_place=True)

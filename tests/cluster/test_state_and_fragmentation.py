@@ -226,6 +226,38 @@ class TestClusterStatePlacement:
         assert sorted(restored.vms) == sorted(state.vms)
         assert restored.vms[1].pm_id == state.vms[1].pm_id
 
+    def test_roundtrip_preserves_everything_copy_preserves(self):
+        # Requests carry snapshots through to_dict/from_dict: the round trip
+        # must preserve the same observable state a copy() does.
+        state = build_paper_example()
+        state.fragment_cores = 8  # non-default granularity must survive
+        restored = ClusterState.from_dict(state.to_dict())
+        assert restored.to_dict() == state.to_dict()
+        assert restored.fragment_cores == 8
+        assert restored.fragment_rate() == pytest.approx(state.fragment_rate())
+        for vm_id, vm in state.vms.items():
+            other = restored.vms[vm_id]
+            assert (other.pm_id, other.numa_id) == (vm.pm_id, vm.numa_id)
+            assert other.anti_affinity_group == vm.anti_affinity_group
+            assert other.vm_type == vm.vm_type
+        soa, restored_soa = state.arrays(), restored.arrays()
+        assert (soa.numa_free_cpu == restored_soa.numa_free_cpu).all()
+        assert (soa.numa_free_mem == restored_soa.numa_free_mem).all()
+
+    def test_roundtrip_preserves_unplaced_and_double_numa_vms(self):
+        pm = make_pm(1, cpu=128, memory=512)
+        placed = make_vm(1, "8xlarge", pm_id=1, numa_id=None)  # double-NUMA
+        unplaced = make_vm(2, "xlarge")
+        state = ClusterState(pms=[pm], vms=[placed, unplaced])
+        restored = ClusterState.from_dict(state.to_dict())
+        assert restored.vms[1].numa_id == state.vms[1].numa_id  # BOTH_NUMAS marker
+        assert not restored.vms[2].is_placed
+
+    def test_json_roundtrip(self):
+        state = build_paper_example()
+        restored = ClusterState.from_json(state.to_json())
+        assert restored.to_dict() == state.to_dict()
+
     def test_cpu_utilization(self):
         state = build_paper_example()
         used = 4 + 16 + 16 + 16 + 8 + 4

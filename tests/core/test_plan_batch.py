@@ -1,0 +1,86 @@
+"""Tests for VMR2LAgent.plan_batch (micro-batched greedy planning)."""
+
+import pytest
+
+from repro.cluster import ConstraintConfig
+from repro.core import VMR2LAgent
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env.objectives import MixedFragmentObjective
+
+
+def snapshots(count, num_pms=6, seed=0):
+    spec = ClusterSpec(name="pb", num_pms=num_pms, target_utilization=0.7, best_fit_fraction=0.3)
+    generator = SnapshotGenerator(spec, seed=seed)
+    return [generator.generate() for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def agent():
+    return VMR2LAgent(constraint_config=ConstraintConfig(migration_limit=5), seed=0)
+
+
+class TestPlanBatch:
+    def test_greedy_batch_matches_single_trajectory(self, agent):
+        states = snapshots(3)
+        results = agent.plan_batch(states, migration_limits=4, greedy=True)
+        for state, result in zip(states, results):
+            solo = agent.plan_single_trajectory(state, 4, greedy=True)
+            assert [m.as_tuple() for m in result.plan] == [m.as_tuple() for m in solo]
+            assert result.algorithm == "VMR2L"
+            assert result.info["batch_size"] == 3
+
+    def test_inference_seconds_is_per_request_share(self, agent):
+        # The batch's wall time is split across requests by step share, so
+        # per-request timings stay comparable to sequential planners.
+        states = snapshots(3)
+        results = agent.plan_batch(states, migration_limits=4, greedy=True)
+        batch_seconds = results[0].info["batch_seconds"]
+        assert all(r.inference_seconds <= batch_seconds + 1e-9 for r in results)
+        assert sum(r.inference_seconds for r in results) == pytest.approx(batch_seconds)
+
+    def test_per_state_migration_limits(self, agent):
+        states = snapshots(2)
+        results = agent.plan_batch(states, migration_limits=[1, 3], greedy=True)
+        assert len(results[0].plan) <= 1
+        assert len(results[1].plan) <= 3
+
+    def test_zero_limit_entries_are_noops(self, agent):
+        states = snapshots(2)
+        results = agent.plan_batch(states, migration_limits=[0, 2], greedy=True)
+        assert len(results[0].plan) == 0
+        assert results[0].info.get("noop") is True
+        assert results[0].inference_seconds == 0.0
+
+    def test_empty_batch(self, agent):
+        assert agent.plan_batch([], migration_limits=[]) == []
+
+    def test_mismatched_limits_rejected(self, agent):
+        with pytest.raises(ValueError):
+            agent.plan_batch(snapshots(2), migration_limits=[1])
+
+    def test_negative_limit_rejected(self, agent):
+        with pytest.raises(ValueError):
+            agent.plan_batch(snapshots(1), migration_limits=[-1])
+
+    def test_input_states_not_mutated(self, agent):
+        states = snapshots(2)
+        before = [state.to_dict() for state in states]
+        agent.plan_batch(states, migration_limits=3, greedy=True)
+        assert [state.to_dict() for state in states] == before
+
+    def test_objective_override(self, agent):
+        states = snapshots(2)
+        results = agent.plan_batch(
+            states, migration_limits=2, greedy=True,
+            objective=MixedFragmentObjective(weight=0.5),
+        )
+        assert all(0.0 <= result.info["final_objective"] <= 1.0 for result in results)
+
+    def test_ragged_cluster_sizes_fall_back_but_plan(self, agent):
+        small = snapshots(1, num_pms=5, seed=1)[0]
+        large = snapshots(1, num_pms=7, seed=2)[0]
+        results = agent.plan_batch([small, large], migration_limits=2, greedy=True)
+        assert len(results) == 2
+        for state, result in zip([small, large], results):
+            solo = agent.plan_single_trajectory(state, 2, greedy=True)
+            assert [m.as_tuple() for m in result.plan] == [m.as_tuple() for m in solo]

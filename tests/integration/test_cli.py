@@ -1,4 +1,4 @@
-"""Tests for the command-line interface (generate-dataset / train / evaluate / plan)."""
+"""Tests for the command-line interface (generate-dataset / train / evaluate / plan / serve)."""
 
 import json
 from pathlib import Path
@@ -6,6 +6,8 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser, main
+from repro.datasets import load_mappings
+from repro.serve import PlanRequest
 
 
 @pytest.fixture(scope="module")
@@ -120,3 +122,76 @@ class TestTrainEvaluatePlan:
         main(["plan", "--mapping", str(mapping_file), "--migration-limit", "4", "--visualize"])
         output = capsys.readouterr().out
         assert "plan summary" in output
+
+    def test_plan_with_explicit_planner(self, dataset_dir, capsys):
+        mapping_file = dataset_dir / "test.jsonl"
+        main(
+            [
+                "plan",
+                "--mapping", str(mapping_file),
+                "--planner", "vbpp",
+                "--migration-limit", "4",
+                "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["algorithm"] == "alpha-VBPP"
+
+    def test_evaluate_accepts_new_registry_keys(self, dataset_dir, capsys):
+        main(
+            [
+                "evaluate",
+                "--dataset", str(dataset_dir),
+                "--baselines", "ha,vbpp,random",
+                "--migration-limit", "4",
+                "--max-mappings", "1",
+                "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["algorithm"] for row in rows} == {"HA", "alpha-VBPP", "Random"}
+
+
+class TestServe:
+    def test_serve_once_from_request_file(self, dataset_dir, tmp_path, capsys):
+        state = load_mappings(dataset_dir / "test.jsonl", limit=1)[0]
+        request = PlanRequest.from_state(state, planner="ha", migration_limit=4)
+        request_file = tmp_path / "request.json"
+        request_file.write_text(request.to_json())
+        exit_code = main(
+            ["serve", "--once", "--request", str(request_file), "--fast-only", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["planner"] == "HA"
+        assert payload["request_id"] == request.request_id
+        assert payload["metrics"]["latency_ms"] >= 0.0
+
+    def test_serve_once_with_checkpoint(self, dataset_dir, checkpoint, tmp_path, capsys):
+        state = load_mappings(dataset_dir / "test.jsonl", limit=1)[0]
+        request = PlanRequest.from_state(state, planner="rl", migration_limit=4)
+        request_file = tmp_path / "request.json"
+        request_file.write_text(request.to_json())
+        main(
+            [
+                "serve", "--once",
+                "--request", str(request_file),
+                "--checkpoint", str(checkpoint),
+                "--fast-only", "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["planner"] == "VMR2L"
+        assert payload["num_migrations"] <= 4
+
+    def test_serve_once_reports_structured_errors(self, dataset_dir, tmp_path, capsys):
+        state = load_mappings(dataset_dir / "test.jsonl", limit=1)[0]
+        request = PlanRequest.from_state(state, planner="quantum")
+        request_file = tmp_path / "request.json"
+        request_file.write_text(request.to_json())
+        main(["serve", "--once", "--request", str(request_file), "--fast-only", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["code"] == "unknown_planner"

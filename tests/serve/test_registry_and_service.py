@@ -1,0 +1,224 @@
+"""Tests for the Planner registry and the micro-batching ReschedulingService."""
+
+import pytest
+
+from repro.cluster import apply_plan
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.serve import (
+    PlanError,
+    PlanRequest,
+    PlanResponse,
+    ReschedulingService,
+    ServiceConfig,
+    build_default_registry,
+)
+
+
+def small_state(num_pms=5, seed=0):
+    spec = ClusterSpec(num_pms=num_pms, target_utilization=0.7, best_fit_fraction=0.2)
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_default_registry(seed=0)
+
+
+@pytest.fixture(scope="module")
+def service(registry):
+    return ReschedulingService(registry, ServiceConfig(max_batch_size=4))
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self, registry):
+        assert registry.names() == [
+            "decima", "ha", "mcts", "mip", "neuplan", "pop", "random", "vbpp", "vmr2l",
+        ]
+
+    def test_aliases_and_case_insensitivity(self, registry):
+        assert registry.get("rl") is registry.get("vmr2l")
+        assert registry.get("HA") is registry.get("ha")
+        assert "agent" in registry
+
+    def test_unknown_planner_raises_keyerror(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("quantum")
+
+    def test_describe_lists_capabilities(self, registry):
+        described = {entry["key"]: entry for entry in registry.describe()}
+        assert "batch" in described["vmr2l"]["capabilities"]
+        assert described["ha"]["name"] == "HA"
+
+    def test_fast_only_registry_drops_slow_planners(self):
+        fast = build_default_registry(include_slow=False, seed=0)
+        assert fast.names() == ["ha", "random", "vbpp", "vmr2l"]
+
+
+class TestServiceSingleRequests:
+    @pytest.mark.parametrize(
+        "key", ["ha", "vbpp", "random", "mip", "pop", "mcts", "decima", "neuplan", "vmr2l"]
+    )
+    def test_every_planner_returns_schema_valid_response(self, service, key):
+        state = small_state()
+        reply = service.handle(
+            PlanRequest.from_state(state, planner=key, migration_limit=3)
+        )
+        assert isinstance(reply, PlanResponse), getattr(reply, "message", None)
+        payload = reply.to_dict()
+        assert payload["ok"] is True
+        assert 0.0 <= payload["final_objective"] <= 1.0
+        assert payload["num_migrations"] <= 3
+        assert payload["metrics"]["latency_ms"] >= 0.0
+        # The returned plan must actually apply to the request snapshot.
+        final_state, application = apply_plan(state.copy(), reply.plan(), skip_infeasible=True)
+        assert application.num_applied == payload["num_applied"]
+
+    def test_unknown_planner_is_structured_error(self, service):
+        reply = service.handle(PlanRequest.from_state(small_state(), planner="quantum"))
+        assert isinstance(reply, PlanError)
+        assert reply.code == "unknown_planner"
+
+    def test_invalid_request_is_structured_error(self, service):
+        reply = service.handle(
+            PlanRequest.from_state(small_state(), migration_limit=-2)
+        )
+        assert isinstance(reply, PlanError)
+        assert reply.code == "invalid_request"
+
+    def test_zero_limit_noop_request(self, service):
+        reply = service.handle(
+            PlanRequest.from_state(small_state(), planner="ha", migration_limit=0)
+        )
+        assert isinstance(reply, PlanResponse)
+        assert reply.num_migrations == 0
+        assert reply.initial_objective == pytest.approx(reply.final_objective)
+
+    def test_objective_routing(self, service):
+        reply = service.handle(
+            PlanRequest.from_state(
+                small_state(), planner="ha", migration_limit=3,
+                objective="mixed_fr16_fr64", objective_params={"weight": 0.5},
+            )
+        )
+        assert isinstance(reply, PlanResponse)
+
+    def test_bad_objective_params_rejected(self, service):
+        reply = service.handle(
+            PlanRequest.from_state(
+                small_state(), planner="ha",
+                objective="mixed_fr16_fr64", objective_params={"weight": 3.0},
+            )
+        )
+        assert isinstance(reply, PlanError)
+        assert reply.code == "invalid_request"
+
+
+class TestMicroBatching:
+    def test_batched_rl_plans_match_sequential(self, registry):
+        states = [small_state(seed=s) for s in range(4)]
+        requests = [
+            PlanRequest.from_state(state, planner="vmr2l", migration_limit=4)
+            for state in states
+        ]
+        batched_service = ReschedulingService(registry, ServiceConfig(max_batch_size=4))
+        sequential_service = ReschedulingService(
+            registry, ServiceConfig(micro_batching=False)
+        )
+        batched = batched_service.handle_many(requests)
+        sequential = [
+            sequential_service.handle(
+                PlanRequest.from_state(state, planner="vmr2l", migration_limit=4)
+            )
+            for state in states
+        ]
+        for fused, solo in zip(batched, sequential):
+            assert isinstance(fused, PlanResponse)
+            assert fused.migrations == solo.migrations
+            assert fused.final_objective == pytest.approx(solo.final_objective)
+            assert fused.metrics["batch_size"] == 4
+            assert solo.metrics["batch_size"] == 1
+
+    def test_mixed_planner_batch_keeps_request_order(self, service):
+        states = [small_state(seed=s) for s in range(3)]
+        requests = [
+            PlanRequest.from_state(states[0], planner="ha", migration_limit=2),
+            PlanRequest.from_state(states[1], planner="vmr2l", migration_limit=2),
+            PlanRequest.from_state(states[2], planner="quantum"),
+        ]
+        replies = service.handle_many(requests)
+        assert replies[0].planner == "HA"
+        assert replies[1].planner == "VMR2L"
+        assert isinstance(replies[2], PlanError)
+        assert [r.request_id for r in replies] == [r.request_id for r in requests]
+
+    def test_batch_respects_max_batch_size(self, registry):
+        states = [small_state(seed=s) for s in range(5)]
+        service = ReschedulingService(registry, ServiceConfig(max_batch_size=2))
+        replies = service.handle_many(
+            [PlanRequest.from_state(s, planner="vmr2l", migration_limit=2) for s in states]
+        )
+        assert all(reply.metrics["batch_size"] <= 2 for reply in replies)
+
+    def test_sampled_requests_are_not_fused(self, service):
+        states = [small_state(seed=s) for s in range(2)]
+        replies = service.handle_many(
+            [
+                PlanRequest.from_state(s, planner="vmr2l", migration_limit=2,
+                                       greedy=False, seed=3)
+                for s in states
+            ]
+        )
+        assert all(reply.metrics["batch_size"] == 1 for reply in replies)
+
+
+class TestQueuedService:
+    def test_submit_micro_batches_concurrent_requests(self, registry):
+        states = [small_state(seed=s) for s in range(3)]
+        service = ReschedulingService(
+            registry, ServiceConfig(max_batch_size=4, max_wait_ms=50.0)
+        )
+        with service:
+            futures = [
+                service.submit(
+                    PlanRequest.from_state(state, planner="vmr2l", migration_limit=3)
+                )
+                for state in states
+            ]
+            replies = [future.result(timeout=120) for future in futures]
+        assert all(isinstance(reply, PlanResponse) for reply in replies)
+        # All three arrived within max_wait, so they shared one model forward.
+        assert {reply.metrics["batch_size"] for reply in replies} == {3}
+        assert all(reply.metrics["queue_ms"] >= 0.0 for reply in replies)
+        assert service.stats()["batched_requests"] >= 3
+
+    def test_submit_requires_started_service(self, registry):
+        service = ReschedulingService(registry)
+        with pytest.raises(RuntimeError):
+            service.submit(PlanRequest.from_state(small_state()))
+
+    def test_deadline_exceeded_in_queue(self, registry):
+        service = ReschedulingService(registry, ServiceConfig(max_wait_ms=0.0))
+        with service:
+            # An effectively-zero deadline trips before dispatch.
+            future = service.submit(
+                PlanRequest.from_state(small_state(), planner="ha",
+                                       deadline_ms=1e-6)
+            )
+            reply = future.result(timeout=60)
+        assert isinstance(reply, PlanError)
+        assert reply.code == "deadline_exceeded"
+
+    def test_malformed_deadline_does_not_kill_the_worker(self, registry):
+        # Regression: a non-numeric deadline_ms raised TypeError inside the
+        # worker loop, killing the thread and hanging every later request.
+        service = ReschedulingService(registry, ServiceConfig(max_wait_ms=0.0))
+        with service:
+            bad = PlanRequest.from_state(small_state(), planner="ha")
+            bad.deadline_ms = "100"  # bypasses from_dict coercion
+            reply = service.submit(bad).result(timeout=60)
+            assert isinstance(reply, PlanError)
+            # The worker must still serve the next request.
+            good = service.submit(
+                PlanRequest.from_state(small_state(), planner="ha", migration_limit=2)
+            ).result(timeout=60)
+        assert isinstance(good, PlanResponse)

@@ -1,0 +1,105 @@
+"""Tests for the HTTP frontend (ThreadingHTTPServer JSON endpoint)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.serve import (
+    PlanRequest,
+    PlanResponse,
+    PlanningServer,
+    ReschedulingService,
+    ServiceConfig,
+    build_default_registry,
+    response_from_dict,
+)
+
+
+def small_state(num_pms=5, seed=0):
+    spec = ClusterSpec(num_pms=num_pms, target_utilization=0.7, best_fit_fraction=0.2)
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = ReschedulingService(
+        build_default_registry(include_slow=False, seed=0),
+        ServiceConfig(max_batch_size=4, max_wait_ms=1.0),
+    )
+    with PlanningServer(service, host="127.0.0.1", port=0) as running:
+        yield running
+
+
+def _post(url, payload: bytes):
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.load(response)
+
+
+class TestHTTPEndpoints:
+    def test_healthz(self, server):
+        with urllib.request.urlopen(server.url + "/healthz", timeout=30) as response:
+            payload = json.load(response)
+        assert payload["status"] == "ok"
+        assert "requests" in payload["stats"]
+
+    def test_planners_listing(self, server):
+        with urllib.request.urlopen(server.url + "/v1/planners", timeout=30) as response:
+            payload = json.load(response)
+        keys = {entry["key"] for entry in payload["planners"]}
+        assert {"vmr2l", "ha", "vbpp", "random"} <= keys
+
+    def test_plan_round_trip(self, server):
+        request = PlanRequest.from_state(small_state(), planner="ha", migration_limit=3)
+        status, payload = _post(server.url + "/v1/plan", request.to_json().encode())
+        assert status == 200
+        reply = response_from_dict(payload)
+        assert isinstance(reply, PlanResponse)
+        assert reply.request_id == request.request_id
+        assert reply.planner == "HA"
+        assert reply.metrics["latency_ms"] > 0.0
+
+    def test_plan_unknown_planner_404(self, server):
+        request = PlanRequest.from_state(small_state(), planner="quantum")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/v1/plan", request.to_json().encode())
+        assert excinfo.value.code == 404
+        assert json.load(excinfo.value)["code"] == "unknown_planner"
+
+    def test_plan_malformed_body_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/v1/plan", b"{broken")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/v2/nothing", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_concurrent_posts_micro_batch(self, server):
+        import threading
+
+        states = [small_state(seed=s) for s in range(3)]
+        replies = [None] * len(states)
+
+        def worker(index):
+            request = PlanRequest.from_state(
+                states[index], planner="vmr2l", migration_limit=2
+            )
+            _, payload = _post(server.url + "/v1/plan", request.to_json().encode())
+            replies[index] = response_from_dict(payload)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(states))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert all(isinstance(reply, PlanResponse) for reply in replies)
+        # At least some requests should have shared a micro-batch forward
+        # (timing-dependent, so only assert the mechanism reports itself).
+        assert all(reply.metrics["batch_size"] >= 1 for reply in replies)
