@@ -14,17 +14,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
+from functools import partial
 from pathlib import Path
 
 import numpy as np
 
 from repro.cluster import ConstraintChecker, ConstraintConfig, assign_anti_affinity_groups
 from repro.core import ModelConfig, PPOConfig
+from repro.core.features import FeatureBatch
 from repro.core.policy import TwoStagePolicy
 from repro.core.ppo import PPOTrainer
 from repro.datasets import ClusterSpec, SnapshotGenerator
-from repro.env import SyncVectorEnv, VMRescheduleEnv
+from repro.env import AsyncVectorEnv, SyncVectorEnv, VMRescheduleEnv
 from repro.env.observation import ObservationBuilder
 from repro.nn import reference_ops
 
@@ -79,7 +82,11 @@ def _legacy_copy(state):
     return clone
 
 
-def run(smoke: bool = False, output: Path | None = None) -> dict:
+def run(
+    smoke: bool = False,
+    output: Path | None = None,
+    async_start_method: str | None = None,
+) -> dict:
     num_pms = 10 if smoke else 60
     # Smoke repeats are high enough that the tier-1 speedup assertions on the
     # O(V*P) paths have margin against noisy-neighbor stalls on CI runners.
@@ -161,6 +168,104 @@ def run(smoke: bool = False, output: Path | None = None) -> dict:
     # with rollout_steps / num_envs batched policy forwards.
     record("ppo_rollout_epoch", legacy_rollout_s, vector_rollout_s)
 
+    # 4b. Single-observation act: the retired dense S×S tree stage (masked
+    # dense attention, the pre-PR-4 single-observation path — forced by
+    # disabling the grouping) vs the grouped sparse tree path now used
+    # everywhere.  Same grad-tracking regime on both sides, so the timing
+    # isolates exactly the dense-stage retirement, on the big featurization
+    # cluster where the dense mask is S=num_pms+num_vms wide.
+    act_env = VMRescheduleEnv(state.copy(), constraint_config=ConstraintConfig(migration_limit=25))
+    act_observation = act_env.reset()
+    act_policy = TwoStagePolicy(ModelConfig(), rng=np.random.default_rng(0))
+    act_repeats = 2 if smoke else 5
+
+    def act_once():
+        act_policy.act(
+            act_observation, pm_mask_fn=act_env.pm_action_mask, rng=np.random.default_rng(0)
+        )
+
+    act_once()  # warm-up
+    sparse_act_s = _time(act_once, act_repeats)
+    original_grouping = FeatureBatch.tree_grouping
+    FeatureBatch.tree_grouping = lambda self: None  # force the dense stage
+    try:
+        act_once()  # warm-up (builds the dense mask path)
+        dense_act_s = _time(act_once, act_repeats)
+    finally:
+        FeatureBatch.tree_grouping = original_grouping
+    record("act_single_sparse", dense_act_s, sparse_act_s)
+
+    # 4c. Multi-process async experience collection at equal env count.
+    # Legacy = the PR-3 collection path verbatim: SyncVectorEnv stepped in
+    # the trainer process with grad-tracking float64 forwards
+    # (PPOConfig(inference_rollouts=False)).  New = the PR-4 stack: N
+    # AsyncVectorEnv workers stepping + featurizing + mask-building in their
+    # own processes over shared-memory SoA buffers, with the trainer running
+    # no-grad float32 inference forwards (ModelConfig(inference_dtype=
+    # "float32")).  A sync no-worker case with the same fast forwards is
+    # recorded too, so the decomposition (inference-path gain vs worker
+    # offload) stays visible.  Rollouts on both sides visit the same number
+    # of transitions; sync vs async rollouts are bitwise-identical at equal
+    # config (pinned by tests/core/test_async_rollout.py).
+    async_pms = 6 if smoke else 20
+    async_envs = 4 if smoke else 32
+    async_steps = 8 if smoke else 64
+    worker_counts = [2] if smoke else [1, 2, 4, 8]
+    headline_workers = 2 if smoke else 4
+    async_state = _medium_state(async_pms, seed=3)
+    async_constraints = ConstraintConfig(migration_limit=8)
+    async_fns = [
+        partial(VMRescheduleEnv, async_state.copy(), async_constraints)
+        for _ in range(async_envs)
+    ]
+
+    def collection_trainer(env, inference: bool) -> PPOTrainer:
+        model = ModelConfig(inference_dtype="float32" if inference else "float64")
+        policy = TwoStagePolicy(model, rng=np.random.default_rng(0))
+        config = PPOConfig(
+            rollout_steps=async_steps, minibatch_size=async_steps,
+            update_epochs=1, seed=0, inference_rollouts=inference,
+        )
+        return PPOTrainer(policy, env, config)
+
+    legacy_collect = collection_trainer(SyncVectorEnv(async_fns), inference=False)
+    legacy_collect.collect_rollout()  # warm-up
+    legacy_collect_s = _time(lambda: legacy_collect.collect_rollout(), rollout_repeats)
+
+    sync_fast = collection_trainer(SyncVectorEnv(async_fns), inference=True)
+    sync_fast.collect_rollout()  # warm-up
+    sync_fast_s = _time(lambda: sync_fast.collect_rollout(), rollout_repeats)
+    record("rollout_epoch_sync_inference", legacy_collect_s, sync_fast_s)
+
+    by_workers: dict = {}
+    resolved_start_method = async_start_method
+    for workers in worker_counts:
+        venv = AsyncVectorEnv(
+            async_fns, num_workers=workers, start_method=async_start_method, seed=0
+        )
+        resolved_start_method = venv.start_method
+        try:
+            async_trainer = collection_trainer(venv, inference=True)
+            async_trainer.collect_rollout()  # warm-up
+            by_workers[workers] = _time(
+                lambda: async_trainer.collect_rollout(), rollout_repeats
+            )
+        finally:
+            venv.close()
+    record("rollout_epoch_async", legacy_collect_s, by_workers[headline_workers])
+    results["rollout_epoch_async"]["workers"] = {
+        str(workers): seconds for workers, seconds in by_workers.items()
+    }
+    results["rollout_epoch_async"]["num_envs"] = async_envs
+    results["rollout_epoch_async"]["start_method"] = resolved_start_method
+    # Attribution: the headline speedup is PR-3 path vs the full PR-4 stack.
+    # This ratio isolates the worker pool's own contribution by comparing
+    # against the same-policy-config sync control — on a single-core runner
+    # it hovers at ~1.0 (nothing to overlap; see cpu_count below).
+    results["rollout_epoch_async"]["speedup_vs_sync_inference"] = (
+        sync_fast_s / by_workers[headline_workers]
+    )
+
     # 5. One full PPO update (default 4 epochs) over a fixed rollout.  Legacy
     # = the seed update path: per-transition evaluate_actions loop on the seed
     # substrate (chained softmax / layer norm, per-head dense masked
@@ -208,6 +313,12 @@ def run(smoke: bool = False, output: Path | None = None) -> dict:
         "benchmark": "perf_hotpaths",
         "smoke": smoke,
         "cluster": {"num_pms": state.num_pms, "num_vms": state.num_vms},
+        # Worker scaling context: with one usable core the async worker pool
+        # cannot overlap env stepping with the policy forward, so the
+        # per-worker-count numbers are flat (IPC overhead only) and the
+        # async speedup reflects the inference-path work; multi-core runners
+        # additionally hide the env share inside the workers.
+        "cpu_count": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
         "results": results,
     }
     if output is not None:
@@ -219,18 +330,34 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI smoke runs")
     parser.add_argument(
+        "--async-start-method",
+        default=None,
+        choices=["fork", "spawn"],
+        help="multiprocessing start method for the async collection cases "
+        "(CI runs the smoke under spawn to catch worker-pickling regressions)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_perf_hotpaths.json",
     )
     args = parser.parse_args()
-    payload = run(smoke=args.smoke, output=args.output)
+    payload = run(
+        smoke=args.smoke, output=args.output, async_start_method=args.async_start_method
+    )
     for name, entry in payload["results"].items():
-        print(
-            f"{name:22s} legacy {entry['legacy_s'] * 1e3:9.2f} ms   "
+        line = (
+            f"{name:28s} legacy {entry['legacy_s'] * 1e3:9.2f} ms   "
             f"vectorized {entry['vectorized_s'] * 1e3:9.2f} ms   "
             f"speedup {entry['speedup']:6.1f}x"
         )
+        if "workers" in entry:
+            detail = "  ".join(
+                f"w{workers}={seconds * 1e3:.0f}ms"
+                for workers, seconds in entry["workers"].items()
+            )
+            line += f"   [{detail}]"
+        print(line)
     print(f"wrote {args.output}")
 
 

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--num-heads", type=int, default=2)
     train.add_argument("--num-blocks", type=int, default=1)
     train.add_argument("--extractor", default="sparse", choices=["sparse", "vanilla"])
+    train.add_argument("--num-workers", type=int, default=0,
+                       help="experience-collection worker processes (0 = single in-process env; "
+                            "N > 0 runs N AsyncVectorEnv workers)")
+    train.add_argument("--num-envs", type=int, default=None,
+                       help="parallel environments (default: one per worker)")
+    train.add_argument("--start-method", default=None, choices=["fork", "spawn"],
+                       help="multiprocessing start method for --num-workers > 0")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--json", action="store_true")
 
@@ -109,6 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size for concurrent greedy RL requests")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="max time a request waits for a micro-batch to fill")
+    serve.add_argument("--eval-workers", type=int, default=0,
+                       help="process-pool size for plan-quality evaluation (0 = inline)")
     serve.add_argument("--no-micro-batching", action="store_true",
                        help="dispatch every request individually")
     serve.add_argument("--fast-only", action="store_true",
@@ -160,10 +169,13 @@ def cmd_train(args) -> Dict:
     agent = VMR2LAgent(config, constraint_config=ConstraintConfig(migration_limit=args.migration_limit),
                        seed=args.seed)
     history = agent.train_on_states(train_states, total_steps=args.total_steps,
-                                    eval_states=eval_states, eval_every=4)
+                                    eval_states=eval_states, eval_every=4,
+                                    num_workers=args.num_workers, num_envs=args.num_envs,
+                                    start_method=args.start_method)
     path = agent.save(args.checkpoint)
     summary = {
         "checkpoint": str(path),
+        "num_workers": args.num_workers,
         "updates": len(history),
         "final_mean_reward": history[-1].mean_reward if history else 0.0,
         "final_eval_metric": next((h.eval_metric for h in reversed(history) if h.eval_metric is not None), None),
@@ -183,6 +195,7 @@ def _build_service(args, max_batch_size: int = 8) -> ReschedulingService:
         max_batch_size=max_batch_size,
         max_wait_ms=getattr(args, "max_wait_ms", 2.0),
         micro_batching=not getattr(args, "no_micro_batching", False),
+        eval_workers=getattr(args, "eval_workers", 0),
     )
     return ReschedulingService(registry, config)
 

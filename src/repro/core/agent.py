@@ -17,13 +17,54 @@ import numpy as np
 
 from ..baselines.base import Rescheduler, ReschedulingResult
 from ..cluster import ClusterState, ConstraintConfig, MigrationPlan
+from ..env.async_vector_env import AsyncVectorEnv
 from ..env.objectives import FragmentRateObjective, Objective
+from ..env.vector_env import SyncVectorEnv
 from ..env.vmr_env import VMRescheduleEnv
-from ..nn import load_module, save_module
+from ..nn import load_module, no_grad, save_module
 from .config import VMR2LConfig
 from .policy import TwoStagePolicy
 from .ppo import PPOTrainer, TrainingLogEntry
 from .risk_seeking import risk_seeking_evaluate, rollout_trajectory
+
+
+class _SampledTrainEnvFactory:
+    """Picklable factory building one training environment.
+
+    Async workers construct their environments in the worker process — under
+    the ``spawn`` start method the factory itself is pickled, so it must be a
+    module-level callable object, not a closure.  Each factory carries its
+    own sampler seed: the same ``(seed, num_workers)`` pair reproduces the
+    same per-env episode streams across runs and start methods.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[ClusterState],
+        constraint_config: ConstraintConfig,
+        objective: Objective,
+        illegal_action_penalty: Optional[float],
+        sampler_seed: int,
+    ) -> None:
+        self.states = list(states)
+        self.constraint_config = constraint_config
+        self.objective = objective
+        self.illegal_action_penalty = illegal_action_penalty
+        self.sampler_seed = sampler_seed
+
+    def __call__(self) -> VMRescheduleEnv:
+        rng = np.random.default_rng(self.sampler_seed)
+        states = self.states
+
+        def sample_state() -> ClusterState:
+            return states[rng.integers(len(states))]
+
+        return VMRescheduleEnv(
+            state_sampler=sample_state,
+            constraint_config=self.constraint_config,
+            objective=self.objective,
+            illegal_action_penalty=self.illegal_action_penalty,
+        )
 
 
 class VMR2LAgent(Rescheduler):
@@ -66,29 +107,82 @@ class VMR2LAgent(Rescheduler):
         eval_states: Optional[Sequence[ClusterState]] = None,
         eval_every: int = 1,
         illegal_action_penalty: Optional[float] = None,
+        num_workers: int = 0,
+        num_envs: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> List[TrainingLogEntry]:
         """Train PPO on episodes sampled uniformly from ``train_states``.
 
         ``illegal_action_penalty`` activates the §5.4 Penalty ablation; leave
         it ``None`` for the (default) masked two-stage and full-joint modes.
+
+        ``num_workers`` selects the experience-collection backend:
+
+        * ``0`` (default) — one in-process environment, the seed setup.
+        * ``> 0`` — an :class:`~repro.env.async_vector_env.AsyncVectorEnv`
+          with ``num_envs`` environments (default ``num_workers``, i.e. one
+          per worker) sharded over that many worker processes; environments
+          step and featurize in parallel while the policy forward stays in
+          this process.  ``start_method`` picks ``fork``/``spawn`` (training
+          states are pickled to each worker under ``spawn``).
+
+        ``num_envs > 1`` with ``num_workers == 0`` collects from an
+        in-process :class:`~repro.env.vector_env.SyncVectorEnv` — same
+        batched rollouts without the extra processes.
         """
         if not train_states:
             raise ValueError("train_states must not be empty")
+        if num_workers < 0:
+            raise ValueError("num_workers must not be negative")
         train_states = list(train_states)
-        sampler_rng = np.random.default_rng(self.seed + 1)
-
-        def sample_state() -> ClusterState:
-            return train_states[sampler_rng.integers(len(train_states))]
 
         penalty = illegal_action_penalty
         if penalty is None and self.config.model.action_mode == "penalty":
             penalty = -5.0
-        env = VMRescheduleEnv(
-            state_sampler=sample_state,
-            constraint_config=self.constraint_config,
-            objective=self.objective,
-            illegal_action_penalty=penalty,
-        )
+
+        env = None
+        close_env = False
+        if num_workers == 0 and (num_envs is None or num_envs <= 1):
+            sampler_rng = np.random.default_rng(self.seed + 1)
+
+            def sample_state() -> ClusterState:
+                return train_states[sampler_rng.integers(len(train_states))]
+
+            env = VMRescheduleEnv(
+                state_sampler=sample_state,
+                constraint_config=self.constraint_config,
+                objective=self.objective,
+                illegal_action_penalty=penalty,
+            )
+        else:
+            count = num_envs if num_envs is not None else max(num_workers, 1)
+            if count < max(num_workers, 1):
+                raise ValueError("num_envs must be >= num_workers")
+            factories = [
+                _SampledTrainEnvFactory(
+                    train_states,
+                    self.constraint_config,
+                    self.objective,
+                    penalty,
+                    sampler_seed=self.seed + 1 + index,
+                )
+                for index in range(count)
+            ]
+            if num_workers > 0:
+                env = AsyncVectorEnv(
+                    factories,
+                    num_workers=num_workers,
+                    start_method=start_method,
+                    seed=self.seed,
+                    # Samplers draw snapshots of varying size; size the shared
+                    # buffers for the largest training mapping up front.
+                    max_pms=max(state.num_pms for state in train_states),
+                    max_vms=max(state.num_vms for state in train_states),
+                )
+            else:
+                env = SyncVectorEnv(factories)
+            close_env = True
+
         eval_callback = None
         if eval_states:
             eval_states = list(eval_states)
@@ -97,7 +191,11 @@ class VMR2LAgent(Rescheduler):
                 return self.evaluate(eval_states, greedy=True)["mean_final_objective"]
 
         trainer = PPOTrainer(self.policy, env, self.config.ppo, eval_callback=eval_callback)
-        history = trainer.train(total_steps, eval_every=eval_every)
+        try:
+            history = trainer.train(total_steps, eval_every=eval_every)
+        finally:
+            if close_env:
+                env.close()
         self.training_history.extend(history)
         return history
 
@@ -206,14 +304,17 @@ class VMR2LAgent(Rescheduler):
             batch_obs = [observations[i] for i in active]
             pm_mask_fns = [envs[i].pm_action_mask for i in active]
             joint_masks = [envs[i].joint_action_mask() for i in active] if joint_mode else None
-            outputs = self.policy.act_batch(
-                batch_obs,
-                pm_mask_fns,
-                rng=rng,
-                greedy=greedy,
-                joint_masks=joint_masks,
-                compute_stats=False,
-            )
+            # Serving rollouts never backpropagate: take the no-grad inference
+            # fast path (and the configured inference_dtype).
+            with no_grad():
+                outputs = self.policy.act_batch(
+                    batch_obs,
+                    pm_mask_fns,
+                    rng=rng,
+                    greedy=greedy,
+                    joint_masks=joint_masks,
+                    compute_stats=False,
+                )
             still_running: List[int] = []
             for index, output in zip(active, outputs):
                 observation, _, done, _ = envs[index].step(output.action)

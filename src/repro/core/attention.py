@@ -31,6 +31,7 @@ from ..nn import (
     Tensor,
     TransformerEncoderLayer,
     concatenate,
+    grad_enabled,
     reference_mode_active,
 )
 from .config import ModelConfig
@@ -56,7 +57,10 @@ class _AttentionBlock(Module):
         if use_tree_attention:
             self.tree_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
         self.pm_self_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
-        self.vm_self_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
+        vm_dtype = np.float32 if config.float32_vm_attention else None
+        self.vm_self_attention = TransformerEncoderLayer(
+            dim, heads, hidden, config.activation, rng=rng, compute_dtype=vm_dtype
+        )
         self.cross_attention = CrossAttentionLayer(dim, heads, hidden, config.activation, rng=rng)
 
     def forward(
@@ -119,16 +123,27 @@ class SparseAttentionExtractor(Module):
         self.final_norm_pm = LayerNorm(dim)
 
     def forward(self, batch: FeatureBatch) -> ExtractorOutput:
-        pm_embeddings = self.pm_embed(batch.pm_features)
-        vm_embeddings = self.vm_embed(batch.vm_features)
+        pm_inputs, vm_inputs = batch.pm_features, batch.vm_features
+        if (
+            self.config.inference_dtype == "float32"
+            and not grad_enabled()
+            and not reference_mode_active()
+        ):
+            # Float32 inference: cast the features once; every downstream
+            # array kernel then runs in single precision against cached
+            # float32 weight copies (see repro.nn.layers.cast_param).
+            pm_inputs = Tensor(pm_inputs.data.astype(np.float32))
+            vm_inputs = Tensor(vm_inputs.data.astype(np.float32))
+        pm_embeddings = self.pm_embed(pm_inputs)
+        vm_embeddings = self.vm_embed(vm_inputs)
         score_shape = (batch.num_vms, batch.num_pms)
         if batch.batch_size is not None:
             score_shape = (batch.batch_size,) + score_shape
         scores = np.zeros(score_shape)
-        # Stacked batches attend tree-locally inside padded per-tree groups
-        # (cached on the FeatureBatch); single observations use the dense mask
-        # wrapped ONCE per forward so every block (and every head inside it)
-        # reuses the same precomputed additive bias.
+        # Tree-local attention runs inside padded per-tree groups (cached on
+        # the FeatureBatch) for stacked batches AND single observations — the
+        # dense S×S mask is materialized only in reference mode, wrapped ONCE
+        # per forward so every block reuses the same additive bias.
         tree_mask = None
         tree_groups = None
         if self.use_tree_attention and batch.num_vms:

@@ -27,6 +27,21 @@ class ModelConfig:
     #: "two_stage" (mask per stage), "penalty" (no masks, env penalizes) or
     #: "full_joint" (joint VM×PM action with a full mask) — the §5.4 ablation.
     action_mode: str = "two_stage"
+    #: Run the dense VM↔VM self-attention stage (the quadratic-cost stage that
+    #: bounds the stacked forward once the tree stage is grouped) with float32
+    #: score/softmax/context temporaries.  Projections, the residual stream
+    #: and every other stage stay float64; see
+    #: ``MultiHeadAttention.compute_dtype``.  Off by default so results remain
+    #: bitwise-reproducible against earlier checkpoints.
+    float32_vm_attention: bool = False
+    #: Precision of the *no-grad* extractor forward (rollout collection and
+    #: serving): "float64" (default — inference is bit-for-bit identical to
+    #: the training forward) or "float32" (the whole inference attention
+    #: stack runs in single precision with cached float32 weight copies —
+    #: roughly halves collection time; sampled actions can differ from the
+    #: float64 path within ~1e-5 probability mass).  Gradient-tracking
+    #: forwards are always float64.
+    inference_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.embed_dim % self.num_heads != 0:
@@ -35,6 +50,8 @@ class ModelConfig:
             raise ValueError(f"unknown extractor {self.extractor!r}")
         if self.action_mode not in ("two_stage", "penalty", "full_joint"):
             raise ValueError(f"unknown action_mode {self.action_mode!r}")
+        if self.inference_dtype not in ("float64", "float32"):
+            raise ValueError(f"unknown inference_dtype {self.inference_dtype!r}")
         if self.num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
 
@@ -61,6 +78,13 @@ class PPOConfig:
     #: stored transition.  False keeps the per-transition reference path used
     #: by parity tests and benchmarks.
     batched_updates: bool = True
+    #: Collect rollouts under ``repro.nn.no_grad()`` and skip the (unused)
+    #: per-step entropy terms.  Sampled actions, log-probs and values are
+    #: bit-for-bit identical to the tracking path — PPO recomputes everything
+    #: differentiable during the update — only the graph bookkeeping is
+    #: dropped.  False keeps the grad-tracking collection path used as the
+    #: rollout benchmark reference.
+    inference_rollouts: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

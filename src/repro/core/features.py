@@ -93,16 +93,21 @@ class FeatureBatch:
 
         Built lazily and cached on the batch, so every extractor block (and
         every epoch revisiting a cached stacked minibatch) reuses one
-        grouping.  Only stacked (3-D) batches with VMs group; single
-        observations keep the dense reference path.
+        grouping.  Works for stacked (3-D) batches and single observations
+        alike — the single-observation path is a one-row grouping, so the
+        dense ``S×S`` tree mask is never materialized outside reference mode.
+        Returns ``None`` only when there are no VMs (no tree stage to run).
         """
-        if self.batch_size is None or self.num_vms == 0:
+        if self.num_vms == 0:
             return None
         if self._tree_grouping is None:
             if self._tree_layouts is None:
-                self._tree_layouts = [
-                    _row_tree_layout(member, self.num_pms) for member in self.membership
-                ]
+                if self.batch_size is None:
+                    self.tree_layout()  # populates the one-row layout cache
+                else:
+                    self._tree_layouts = [
+                        _row_tree_layout(member, self.num_pms) for member in self.membership
+                    ]
             self._tree_grouping = _grouping_from_layouts(
                 self._tree_layouts, self.sequence_length
             )
@@ -187,9 +192,17 @@ class TreeGrouping:
         self.inverse = inverse  # (batch * seq,) slot in the concatenated layout
 
     def apply(self, layer: Module, combined: Tensor) -> Tensor:
-        """Run an encoder ``layer`` tree-locally over ``(batch, seq, dim)``."""
-        batch, seq, dim = combined.shape
-        flat = combined.reshape(batch * seq, dim)
+        """Run an encoder ``layer`` tree-locally over the combined sequence.
+
+        ``combined`` is ``(batch, seq, dim)`` for a stacked batch or
+        ``(seq, dim)`` for a single observation (a one-row grouping); the
+        grouped computation is identical — only the flatten/unflatten differs.
+        """
+        dim = combined.shape[-1]
+        if combined.ndim == 2:
+            flat = combined
+        else:
+            flat = combined.reshape(combined.shape[0] * combined.shape[1], dim)
         outputs = []
         for bucket in self.buckets:
             groups, size = bucket.members.shape
@@ -198,7 +211,7 @@ class TreeGrouping:
             ).reshape(groups, size, dim)
             outputs.append(layer(grouped, mask=bucket.attention_mask).reshape(groups * size, dim))
         stacked = outputs[0] if len(outputs) == 1 else concatenate(outputs, axis=0)
-        return _gather_rows(stacked, self.inverse).reshape(batch, seq, dim)
+        return _gather_rows(stacked, self.inverse).reshape(combined.shape)
 
 
 def _gather_rows(

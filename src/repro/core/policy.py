@@ -49,6 +49,11 @@ class PolicyOutput:
     value: float
     vm_probs: np.ndarray
     pm_probs: np.ndarray
+    #: Stage-2 feasibility mask actually used to sample ``pm_index``
+    #: (``two_stage`` mode only).  Consumers that need the mask afterwards
+    #: (e.g. the rollout buffer) read it from here instead of re-deriving it
+    #: from the environment — one mask computation per decision.
+    pm_mask: Optional[np.ndarray] = None
 
     @property
     def action(self) -> Tuple[int, int]:
@@ -193,18 +198,20 @@ class TwoStagePolicy(Module):
             value=value,
             vm_probs=vm_probs,
             pm_probs=pm_probs,
+            pm_mask=pm_mask,
         )
 
     def act_batch(
         self,
         observations: Sequence[Observation],
-        pm_mask_fns: Sequence[Callable[[int], np.ndarray]],
-        rng: np.random.Generator,
+        pm_mask_fns: Optional[Sequence[Callable[[int], np.ndarray]]] = None,
+        rng: np.random.Generator = None,
         greedy: bool = False,
         joint_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
         vm_threshold_quantile: Optional[float] = None,
         pm_threshold_quantile: Optional[float] = None,
         compute_stats: bool = True,
+        pm_masks_fn: Optional[Callable[[Sequence[int]], np.ndarray]] = None,
     ) -> List[PolicyOutput]:
         """Act on several observations with ONE extractor forward pass.
 
@@ -215,13 +222,35 @@ class TwoStagePolicy(Module):
         observation on slices of the shared embeddings.  Falls back to
         sequential :meth:`act` for ``full_joint`` mode, the fixed-size MLP
         extractor, and ragged batches (observations of different sizes).
+
+        Stage-2 masks come from either ``pm_mask_fns`` (one per-environment
+        callable, used by in-process drivers and the sequential fallback) or
+        ``pm_masks_fn`` (ONE batched callable mapping the chosen
+        ``vm_indices`` to stacked ``(batch, num_pms)`` masks — a vector env's
+        ``pm_action_masks``, a single exchange on the multi-process backend).
+        When both are given the batched one serves the stacked hot path.
         """
-        if len(observations) != len(pm_mask_fns):
+        if rng is None:
+            raise ValueError("act_batch requires an rng")
+        if pm_mask_fns is not None and len(observations) != len(pm_mask_fns):
             raise ValueError("need one pm_mask_fn per observation")
+        if (
+            pm_mask_fns is None
+            and pm_masks_fn is None
+            and self.config.action_mode == "two_stage"
+        ):
+            raise ValueError("two_stage mode needs pm_mask_fns or pm_masks_fn")
         sequential = self.config.action_mode == "full_joint" or not self._can_stack(
             observations
         )
         if sequential:
+            if pm_mask_fns is None:
+                if self.config.action_mode == "two_stage":
+                    raise ValueError(
+                        "the sequential act_batch fallback needs per-environment "
+                        "pm_mask_fns; pm_masks_fn only serves the stacked path"
+                    )
+                pm_mask_fns = [None] * len(observations)
             joint_masks = joint_masks or [None] * len(observations)
             return [
                 self.act(
@@ -282,13 +311,19 @@ class TwoStagePolicy(Module):
         # cross-attend to that row's selected VM embedding, and the stage-3
         # score bias is gathered per row.  Sampling is vectorized like stage 1.
         pm_logit_rows = self.pm_actor.forward_batch(extractor_output, vm_indices)
-        pm_mask_rows = (
-            np.stack(
+        if not use_masks:
+            pm_mask_rows = None
+        elif pm_masks_fn is not None:
+            pm_mask_rows = np.asarray(pm_masks_fn(vm_indices), dtype=bool)
+            if pm_mask_rows.shape[0] != num_envs:
+                raise ValueError(
+                    f"pm_masks_fn returned {pm_mask_rows.shape[0]} rows for "
+                    f"{num_envs} observations"
+                )
+        else:
+            pm_mask_rows = np.stack(
                 [pm_mask_fns[i](vm_indices[i]) for i in range(num_envs)], axis=0
             )
-            if use_masks
-            else None
-        )
         pm_prob_rows = _masked_softmax_rows(pm_logit_rows.numpy(), pm_mask_rows)
 
         outputs: List[PolicyOutput] = []
@@ -317,6 +352,7 @@ class TwoStagePolicy(Module):
                     value=float(values[index].item()),
                     vm_probs=vm_probs_list[index],
                     pm_probs=pm_probs,
+                    pm_mask=None if pm_mask_rows is None else pm_mask_rows[index],
                 )
             )
         return outputs

@@ -9,15 +9,17 @@ action sampling — exactly the setting the paper exploits for data efficiency
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..env.vector_env import SyncVectorEnv
+from ..env.vector_env import VectorEnv
 from ..env.vmr_env import VMRescheduleEnv
-from ..nn import Adam, LinearSchedule, Tensor
+from ..nn import Adam, LinearSchedule, Tensor, no_grad
 from ..nn import functional as F
 from .config import PPOConfig
 from .policy import TwoStagePolicy
@@ -43,9 +45,12 @@ class TrainingLogEntry:
 class PPOTrainer:
     """Collect rollouts and optimize the policy with PPO.
 
-    ``env`` may be a single :class:`VMRescheduleEnv` or a
-    :class:`~repro.env.vector_env.SyncVectorEnv`.  With a vectorized env the
-    trainer stacks the per-env observations and calls
+    ``env`` may be a single :class:`VMRescheduleEnv` or any
+    :class:`~repro.env.vector_env.VectorEnv` — the synchronous in-process
+    backend or the multi-process
+    :class:`~repro.env.async_vector_env.AsyncVectorEnv`; the trainer only
+    talks to the shared protocol, so both collect identically.  With a
+    vectorized env the trainer stacks the per-env observations and calls
     :meth:`TwoStagePolicy.act_batch`, so each collection step runs one
     feature-extractor forward instead of one per environment.
     """
@@ -59,7 +64,7 @@ class PPOTrainer:
     ) -> None:
         self.policy = policy
         self.env = env
-        self.is_vectorized = isinstance(env, SyncVectorEnv)
+        self.is_vectorized = isinstance(env, VectorEnv)
         self.config = config or PPOConfig()
         self.eval_callback = eval_callback
         self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
@@ -73,10 +78,17 @@ class PPOTrainer:
     # ------------------------------------------------------------------ #
     # Rollout collection
     # ------------------------------------------------------------------ #
+    def _inference(self):
+        """No-grad scope for rollout forwards (identity when disabled)."""
+        if self.config.inference_rollouts:
+            return no_grad()
+        return contextlib.nullcontext()
+
     def collect_rollout(self) -> RolloutBuffer:
         """Collect ``rollout_steps`` transitions, resetting episodes as needed."""
         if self.is_vectorized:
             return self._collect_rollout_vectorized()
+        inference = self.config.inference_rollouts
         buffer = RolloutBuffer(self.config.rollout_steps)
         if self._needs_reset or self._observation is None:
             self._observation = self.env.reset()
@@ -87,18 +99,16 @@ class PPOTrainer:
             joint_mask = None
             if self.policy.config.action_mode == "full_joint":
                 joint_mask = self.env.joint_action_mask()
-            output = self.policy.act(
-                observation,
-                pm_mask_fn=self.env.pm_action_mask,
-                rng=self.rng,
-                joint_mask=joint_mask,
-            )
+            with self._inference():
+                output = self.policy.act(
+                    observation,
+                    pm_mask_fn=self.env.pm_action_mask,
+                    rng=self.rng,
+                    joint_mask=joint_mask,
+                    compute_stats=not inference,
+                )
             vm_mask = observation.vm_mask if self.policy.config.action_mode == "two_stage" else None
-            pm_mask = (
-                self.env.pm_action_mask(output.vm_index)
-                if self.policy.config.action_mode == "two_stage"
-                else None
-            )
+            pm_mask = output.pm_mask
             next_observation, reward, done, info = self.env.step(output.action)
             self.global_step += 1
             buffer.add(
@@ -122,7 +132,8 @@ class PPOTrainer:
 
         last_value = 0.0
         if not buffer.transitions[-1].done:
-            last_value = self.policy.value_of(self._observation)
+            with self._inference():
+                last_value = self.policy.value_of(self._observation)
         buffer.compute_advantages(
             last_value,
             gamma=self.config.gamma,
@@ -144,14 +155,19 @@ class PPOTrainer:
         return max(self.config.rollout_steps // num_envs, 1) * num_envs
 
     def _collect_rollout_vectorized(self) -> RolloutBuffer:
-        """Collect from a :class:`SyncVectorEnv` with batched policy forwards.
+        """Collect from a :class:`VectorEnv` with batched policy forwards.
 
         Per step the policy runs ONE extractor forward over the stacked
-        observations (``act_batch``) instead of one per environment.  The
-        buffer stores transitions time-major interleaved; GAE runs per env.
+        observations (``act_batch``) instead of one per environment, and the
+        stage-2 masks come back through ONE ``pm_action_masks`` exchange —
+        on the async backend that is a single round trip to the worker pool.
+        The buffer stores transitions time-major interleaved; GAE runs per
+        env.  Only protocol methods are used, so the sync and multi-process
+        backends collect bit-for-bit identical rollouts under one seed.
         """
-        venv: SyncVectorEnv = self.env
+        venv: VectorEnv = self.env
         num_envs = venv.num_envs
+        inference = self.config.inference_rollouts
         buffer = RolloutBuffer(self._transitions_per_rollout())
         if self._needs_reset or self._observations is None:
             self._observations = venv.reset()
@@ -159,37 +175,22 @@ class PPOTrainer:
 
         full_joint = self.policy.config.action_mode == "full_joint"
         two_stage = self.policy.config.action_mode == "two_stage"
-
-        def caching_mask_fn(env):
-            # Memoize per step so the stage-2 mask act_batch computes to sample
-            # the PM is reused for buffer storage instead of recomputed.
-            cache = {}
-
-            def fn(vm_index: int) -> np.ndarray:
-                mask = cache.get(vm_index)
-                if mask is None:
-                    mask = env.pm_action_mask(vm_index)
-                    cache[vm_index] = mask
-                return mask
-
-            return fn
+        # Per-env fallback mask fns (ragged batches, the MLP extractor); the
+        # stacked hot path uses the batched pm_masks_fn instead.
+        pm_mask_fns = [partial(venv.pm_action_mask, index) for index in range(num_envs)]
 
         while not buffer.full:
             observations = self._observations
-            joint_masks = (
-                [env.joint_action_mask() for env in venv.envs] if full_joint else None
-            )
-            pm_mask_fns = [caching_mask_fn(env) for env in venv.envs]
-            outputs = self.policy.act_batch(
-                observations,
-                pm_mask_fns=pm_mask_fns,
-                rng=self.rng,
-                joint_masks=joint_masks,
-            )
-            pm_masks = [
-                pm_mask_fns[index](outputs[index].vm_index) if two_stage else None
-                for index in range(num_envs)
-            ]
+            joint_masks = venv.joint_action_masks() if full_joint else None
+            with self._inference():
+                outputs = self.policy.act_batch(
+                    observations,
+                    pm_mask_fns=pm_mask_fns,
+                    rng=self.rng,
+                    joint_masks=joint_masks,
+                    compute_stats=not inference,
+                    pm_masks_fn=venv.pm_action_masks,
+                )
             actions = [output.action for output in outputs]
             next_observations, rewards, dones, _ = venv.step(actions)
             self.global_step += num_envs
@@ -205,14 +206,15 @@ class PPOTrainer:
                         reward=float(rewards[index]),
                         done=bool(dones[index]),
                         vm_mask=observation.vm_mask.copy() if two_stage else None,
-                        pm_mask=None if pm_masks[index] is None else pm_masks[index].copy(),
+                        pm_mask=None if output.pm_mask is None else output.pm_mask.copy(),
                         joint_mask=None if joint_masks is None else joint_masks[index].copy(),
                     )
                 )
             self._observations = next_observations
 
         # One stacked forward bootstraps every env; done envs bootstrap 0.
-        bootstrap = self.policy.value_of_batch(self._observations)
+        with self._inference():
+            bootstrap = self.policy.value_of_batch(self._observations)
         last_values = [
             0.0 if buffer.transitions[-num_envs + index].done else bootstrap[index]
             for index in range(num_envs)

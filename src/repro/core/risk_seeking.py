@@ -18,6 +18,7 @@ import numpy as np
 from ..cluster import ClusterState, ConstraintConfig, Migration, MigrationPlan
 from ..env.objectives import Objective
 from ..env.vmr_env import VMRescheduleEnv
+from ..nn import no_grad
 from .config import RiskSeekingConfig
 from .policy import TwoStagePolicy
 
@@ -78,15 +79,18 @@ def rollout_trajectory(
         if not observation.vm_mask.any():
             break
         joint_mask = env.joint_action_mask() if policy.config.action_mode == "full_joint" else None
-        output = policy.act(
-            observation,
-            pm_mask_fn=env.pm_action_mask,
-            rng=rng,
-            greedy=greedy,
-            joint_mask=joint_mask,
-            vm_threshold_quantile=vm_quantile,
-            pm_threshold_quantile=pm_quantile,
-        )
+        # Pure sampling — nothing here backpropagates, so take the no-grad
+        # inference fast path (and the configured inference_dtype).
+        with no_grad():
+            output = policy.act(
+                observation,
+                pm_mask_fn=env.pm_action_mask,
+                rng=rng,
+                greedy=greedy,
+                joint_mask=joint_mask,
+                vm_threshold_quantile=vm_quantile,
+                pm_threshold_quantile=pm_quantile,
+            )
         observation, reward, done, _ = env.step(output.action)
         total_reward += reward
     return TrajectoryResult(

@@ -5,7 +5,8 @@
 * :mod:`repro.env.objectives` — FR, min-migration and mixed objectives
 * :mod:`repro.env.vmr_env` — :class:`VMRescheduleEnv`, the deterministic simulator
 * :mod:`repro.env.wrappers` — episode statistics / reward scaling / time limits
-* :mod:`repro.env.vector_env` — synchronous vectorized environments
+* :mod:`repro.env.vector_env` — the :class:`VectorEnv` protocol + synchronous backend
+* :mod:`repro.env.async_vector_env` — multi-process backend over shared memory
 """
 
 from .objectives import (
@@ -24,7 +25,9 @@ from .observation import (
     VM_FEATURE_DIM,
 )
 from .spaces import Box, Discrete, MultiDiscrete, Space, Tuple
-from .vector_env import SyncVectorEnv
+from .async_vector_env import AsyncVectorEnv, AsyncVectorEnvError
+from .shared_memory import SharedObservationBuffers
+from .vector_env import SyncVectorEnv, VectorEnv
 from .vmr_env import StepRecord, VMRescheduleEnv
 from .wrappers import (
     EnvWrapper,
@@ -35,6 +38,8 @@ from .wrappers import (
 )
 
 __all__ = [
+    "AsyncVectorEnv",
+    "AsyncVectorEnvError",
     "Box",
     "Discrete",
     "EnvWrapper",
@@ -52,7 +57,9 @@ __all__ = [
     "RewardScaling",
     "Space",
     "StepRecord",
+    "SharedObservationBuffers",
     "SyncVectorEnv",
+    "VectorEnv",
     "TimeLimit",
     "Tuple",
     "VMRescheduleEnv",

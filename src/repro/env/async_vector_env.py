@@ -1,0 +1,408 @@
+"""Multi-process vectorized environment with shared-memory observations.
+
+:class:`AsyncVectorEnv` is the multi-process sibling of
+:class:`~repro.env.vector_env.SyncVectorEnv`: it runs the environments in
+``num_workers`` worker processes (contiguous shards, one or more envs per
+worker), *featurizes observations worker-side* and transports them through
+the preallocated SoA buffers of
+:mod:`repro.env.shared_memory` — per step the pipes carry only a command
+tuple and the small info dicts, never a pickled ``Observation`` or
+``ClusterState``.  Batched ``reset`` / ``step`` / auto-reset semantics are
+identical to the synchronous backend (same
+:class:`~repro.env.vector_env.VectorEnv` protocol), so a trainer driving both
+under one seed collects bit-for-bit identical rollouts.
+
+Determinism
+    Workers seed env *i* with ``seed + i`` at startup (when ``seed`` is
+    given) and environments are constructed from the factories in env order,
+    so the same ``seed`` and ``num_workers`` reproduce identical rollouts
+    across runs and across the ``fork`` and ``spawn`` start methods.  Under
+    ``spawn`` the factories are pickled — use module-level callables or
+    ``functools.partial`` objects, not lambdas.
+
+Failure handling
+    A worker exception is caught, formatted and sent back; the parent raises
+    :class:`AsyncVectorEnvError` carrying the worker index and remote
+    traceback after draining the in-flight exchange (pipes never desync).  A
+    worker that dies outright (killed, segfault) surfaces as the same error.
+    ``close()`` is idempotent, joins with a timeout and terminates stragglers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .shared_memory import SharedObservationBuffers
+from .vector_env import VectorEnv
+
+
+class AsyncVectorEnvError(RuntimeError):
+    """A worker process failed; carries the remote traceback(s)."""
+
+
+def _worker(
+    worker_index: int,
+    env_slots: Sequence[int],
+    env_fns: Sequence[Callable[[], object]],
+    pipe,
+    parent_pipe,
+    buffers: SharedObservationBuffers,
+    seed: Optional[int],
+) -> None:
+    """Worker loop: own a shard of environments, serve parent commands.
+
+    Every command is answered with exactly one ``("ok", payload)`` or
+    ``("error", (worker_index, traceback))`` message, keeping the exchange in
+    lock-step.  Observations/rewards/dones/masks travel through ``buffers``;
+    the pipe carries only small control payloads (per-step info dicts, and —
+    only at an episode boundary — the terminal observation inside its info).
+    """
+    if parent_pipe is not None:
+        parent_pipe.close()
+    envs: List[object] = []
+    try:
+        envs = [fn() for fn in env_fns]
+        if seed is not None:
+            for slot, env in zip(env_slots, envs):
+                seeder = getattr(env, "seed", None)
+                if callable(seeder):
+                    seeder(seed + slot)
+        pipe.send(("ok", None))
+    except Exception:
+        pipe.send(("error", (worker_index, traceback.format_exc())))
+        pipe.close()
+        return
+
+    running = True
+    while running:
+        try:
+            command, payload = pipe.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; exit quietly
+        try:
+            if command == "reset":
+                for slot, env in zip(env_slots, envs):
+                    buffers.write_observation(slot, env.reset())
+                pipe.send(("ok", None))
+            elif command == "step":
+                infos = []
+                for slot, env, action in zip(env_slots, envs, payload):
+                    observation, reward, done, info = env.step(action)
+                    if done:
+                        info = dict(info)
+                        info["terminal_observation"] = observation
+                        observation = env.reset()
+                    buffers.write_observation(slot, observation)
+                    buffers.write_step(slot, float(reward), bool(done))
+                    infos.append(info)
+                pipe.send(("ok", infos))
+            elif command == "pm_mask":
+                for slot, env, vm_index in zip(env_slots, envs, payload):
+                    buffers.write_pm_mask(slot, env.pm_action_mask(int(vm_index)))
+                pipe.send(("ok", None))
+            elif command == "pm_mask_one":
+                local_index, vm_index = payload
+                buffers.write_pm_mask(
+                    env_slots[local_index],
+                    envs[local_index].pm_action_mask(int(vm_index)),
+                )
+                pipe.send(("ok", None))
+            elif command == "joint_mask":
+                for slot, env in zip(env_slots, envs):
+                    buffers.write_joint_mask(slot, env.joint_action_mask())
+                pipe.send(("ok", None))
+            elif command == "seed":
+                for slot, env in zip(env_slots, envs):
+                    env.seed(int(payload) + slot)
+                pipe.send(("ok", None))
+            elif command == "call":
+                name, args, kwargs = payload
+                results = [getattr(env, name)(*args, **kwargs) for env in envs]
+                pipe.send(("ok", results))
+            elif command == "getattr":
+                results = [getattr(env, payload) for env in envs]
+                pipe.send(("ok", results))
+            elif command == "close":
+                pipe.send(("ok", None))
+                running = False
+            else:
+                raise RuntimeError(f"unknown worker command {command!r}")
+        except Exception:
+            pipe.send(("error", (worker_index, traceback.format_exc())))
+
+    for env in envs:
+        close = getattr(env, "close", None)
+        if callable(close):
+            try:
+                close()
+            except Exception:
+                pass
+    pipe.close()
+
+
+class AsyncVectorEnv(VectorEnv):
+    """Run environments in worker processes behind the ``VectorEnv`` protocol.
+
+    Parameters
+    ----------
+    env_fns:
+        One factory per environment.  All environments must produce
+        observations of one cluster size (the shared buffers are sized from a
+        probe environment built in the parent and discarded).
+    num_workers:
+        Worker process count (default: one per environment).  Environments
+        are sharded contiguously, so env order — and therefore rollout
+        content — does not depend on the worker count.
+    start_method:
+        ``"fork"`` (default where available) or ``"spawn"``.  ``spawn``
+        requires picklable factories and matches what macOS/Windows use.
+    seed:
+        When given, worker *w* seeds env *i* with ``seed + i`` at startup via
+        ``env.seed`` (see the module docstring on determinism).
+    max_pms / max_vms:
+        Shared-buffer capacities.  Default: the probe observation's sizes —
+        pass explicit capacities when a state sampler can draw larger
+        snapshots in later episodes (e.g. the largest training mapping).
+    """
+
+    def __init__(
+        self,
+        env_fns: Sequence[Callable[[], object]],
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        seed: Optional[int] = None,
+        max_pms: Optional[int] = None,
+        max_vms: Optional[int] = None,
+    ) -> None:
+        if not env_fns:
+            raise ValueError("need at least one environment factory")
+        self.num_envs = len(env_fns)
+        if num_workers is None:
+            num_workers = self.num_envs
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = min(num_workers, self.num_envs)
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.start_method = start_method
+        ctx = multiprocessing.get_context(start_method)
+
+        # Probe one environment in-parent to size the shared layout (unless
+        # explicit capacities cover it already).
+        if max_pms is None or max_vms is None:
+            probe = env_fns[0]()
+            try:
+                observation = probe.reset()
+                max_pms = max(max_pms or 0, observation.num_pms)
+                max_vms = max(max_vms or 0, observation.num_vms)
+            finally:
+                close = getattr(probe, "close", None)
+                if callable(close):
+                    close()
+                del probe
+        self._buffers = SharedObservationBuffers(
+            self.num_envs, max_pms, max_vms, context=ctx
+        )
+
+        # Contiguous shards keep global env order independent of num_workers.
+        bounds = np.linspace(0, self.num_envs, self.num_workers + 1).astype(int)
+        self._shards: List[range] = [
+            range(int(bounds[w]), int(bounds[w + 1])) for w in range(self.num_workers)
+        ]
+        self._env_worker = np.empty(self.num_envs, dtype=int)
+        for worker_index, shard in enumerate(self._shards):
+            self._env_worker[list(shard)] = worker_index
+
+        self._pipes = []
+        self._processes = []
+        self._closed = False
+        try:
+            for worker_index, shard in enumerate(self._shards):
+                parent_pipe, child_pipe = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker,
+                    name=f"repro-async-env-{worker_index}",
+                    args=(
+                        worker_index,
+                        list(shard),
+                        [env_fns[index] for index in shard],
+                        child_pipe,
+                        parent_pipe,
+                        self._buffers,
+                        seed,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_pipe.close()
+                self._pipes.append(parent_pipe)
+                self._processes.append(process)
+            self._drain()  # wait for every worker's construction ack
+        except Exception:
+            self.close(terminate=True)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Protocol methods
+    # ------------------------------------------------------------------ #
+    def reset(self) -> List:
+        self._broadcast("reset")
+        self._drain()
+        return [self._buffers.read_observation(slot) for slot in range(self.num_envs)]
+
+    def step(self, actions: Sequence) -> Tuple[List, np.ndarray, np.ndarray, List]:
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        for pipe, shard in zip(self._pipes, self._shards):
+            pipe.send(("step", [actions[index] for index in shard]))
+        info_shards = self._drain()
+        observations = [
+            self._buffers.read_observation(slot) for slot in range(self.num_envs)
+        ]
+        rewards, dones = self._buffers.read_steps()
+        infos: List = []
+        for shard_infos in info_shards:
+            infos.extend(shard_infos)
+        return observations, rewards, dones, infos
+
+    def pm_action_masks(self, vm_indices: Sequence[int]) -> np.ndarray:
+        if len(vm_indices) != self.num_envs:
+            raise ValueError(
+                f"expected {self.num_envs} vm indices, got {len(vm_indices)}"
+            )
+        for pipe, shard in zip(self._pipes, self._shards):
+            pipe.send(("pm_mask", [int(vm_indices[index]) for index in shard]))
+        self._drain()
+        return self._buffers.read_pm_masks()
+
+    def pm_action_mask(self, index: int, vm_index: int) -> np.ndarray:
+        if not 0 <= index < self.num_envs:
+            raise IndexError(f"env index {index} out of range")
+        worker_index = int(self._env_worker[index])
+        local_index = index - self._shards[worker_index].start
+        self._pipes[worker_index].send(("pm_mask_one", (local_index, int(vm_index))))
+        self._receive(worker_index)
+        return self._buffers.read_pm_mask(index)
+
+    def joint_action_masks(self) -> List[np.ndarray]:
+        self._broadcast("joint_mask")
+        self._drain()
+        return self._buffers.read_joint_masks()
+
+    def call(self, method_name: str, *args, **kwargs) -> List:
+        self._broadcast("call", (method_name, args, kwargs))
+        results: List = []
+        for shard_results in self._drain():
+            results.extend(shard_results)
+        return results
+
+    def get_attr(self, name: str) -> List:
+        """Read an attribute from every environment (values come back pickled)."""
+        self._broadcast("getattr", name)
+        results: List = []
+        for shard_results in self._drain():
+            results.extend(shard_results)
+        return results
+
+    def seed(self, seed: int) -> None:
+        self._broadcast("seed", int(seed))
+        self._drain()
+
+    def close(self, terminate: bool = False, timeout: float = 5.0) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Sends a ``close`` command, joins with ``timeout`` and terminates any
+        straggler; with ``terminate=True`` workers are killed immediately
+        (used when tearing down after an error).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not terminate:
+            for pipe in self._pipes:
+                try:
+                    pipe.send(("close", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            for pipe in self._pipes:
+                try:
+                    if pipe.poll(timeout):
+                        pipe.recv()
+                except (EOFError, OSError):
+                    pass
+        for process in self._processes:
+            if terminate and process.is_alive():
+                process.terminate()
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout)
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+
+    def __del__(self):  # best-effort cleanup
+        try:
+            self.close(terminate=True, timeout=0.5)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Exchange plumbing
+    # ------------------------------------------------------------------ #
+    def _broadcast(self, command: str, payload=None) -> None:
+        self._assert_open()
+        for pipe in self._pipes:
+            pipe.send((command, payload))
+
+    def _drain(self) -> List:
+        """Collect one reply per worker (in worker order); raise on errors."""
+        replies: List = []
+        errors: List[Tuple[int, str]] = []
+        for worker_index in range(len(self._pipes)):
+            kind, payload = self._recv(worker_index)
+            if kind == "error":
+                errors.append(payload)
+            else:
+                replies.append(payload)
+        if errors:
+            self._raise(errors)
+        return replies
+
+    def _receive(self, worker_index: int):
+        kind, payload = self._recv(worker_index)
+        if kind == "error":
+            self._raise([payload])
+        return payload
+
+    def _recv(self, worker_index: int):
+        self._assert_open()
+        try:
+            return self._pipes[worker_index].recv()
+        except (EOFError, OSError):
+            process = self._processes[worker_index]
+            detail = (
+                f"exit code {process.exitcode}"
+                if not process.is_alive()
+                else "pipe closed unexpectedly"
+            )
+            return ("error", (worker_index, f"worker died without replying ({detail})"))
+
+    def _raise(self, errors: Sequence[Tuple[int, str]]) -> None:
+        details = "\n".join(
+            f"--- worker {worker_index} ---\n{message}" for worker_index, message in errors
+        )
+        raise AsyncVectorEnvError(
+            f"{len(errors)} worker(s) failed:\n{details}"
+        )
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncVectorEnv is closed")

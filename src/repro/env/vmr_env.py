@@ -101,6 +101,16 @@ class VMRescheduleEnv:
     # ------------------------------------------------------------------ #
     # Episode control
     # ------------------------------------------------------------------ #
+    def seed(self, seed: Optional[int] = None) -> None:
+        """Reseed the environment's random generator.
+
+        The simulator itself is deterministic; the generator feeds optional
+        stochastic components (e.g. samplers that consult ``env.rng``).
+        Vector envs call this per worker/env so identical seeds reproduce
+        identical rollouts across backends and start methods.
+        """
+        self.rng = np.random.default_rng(seed)
+
     def reset(self, state: Optional[ClusterState] = None) -> Observation:
         """Start a new episode; returns the initial observation."""
         if state is not None:

@@ -30,6 +30,8 @@ from .serialization import checkpoint_size_bytes, load_module, save_module
 from .tensor import (
     Tensor,
     concatenate,
+    grad_enabled,
+    no_grad,
     ones,
     reference_mode_active,
     reference_ops,
@@ -49,6 +51,8 @@ __all__ = [
     "where",
     "reference_ops",
     "reference_mode_active",
+    "no_grad",
+    "grad_enabled",
     "Module",
     "Linear",
     "LayerNorm",

@@ -17,7 +17,18 @@ import numpy as np
 from . import functional as F
 from .layers import Activation, LayerNorm, Linear, Sequential
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, grad_enabled
+
+
+def _inference_fast_path() -> bool:
+    """Whether layer forwards may take the fused raw-array route.
+
+    Active when autograd recording is off and the seed reference mode is not
+    — the array kernels mirror the Tensor ops bit-for-bit (see
+    ``repro.nn.functional``), so flipping the route never changes a number,
+    only the bookkeeping and temporaries.
+    """
+    return not grad_enabled() and not F.reference_mode_active()
 
 
 class AttentionMask:
@@ -57,6 +68,10 @@ def _attention_softmax(scores: Tensor, mask: Optional[AttentionMask], batched: b
     if mask is None:
         return F.softmax(scores, axis=-1)
     bias = mask.bias
+    if bias.dtype != scores.data.dtype:
+        # float32 compute mode: keep the full-size temporaries in the scores'
+        # dtype instead of promoting back to float64.
+        bias = bias.astype(scores.data.dtype)
     if batched and bias.ndim == 3:
         bias = bias[:, None, :, :]
     data = scores.data + bias
@@ -85,6 +100,31 @@ def _attention_softmax(scores: Tensor, mask: Optional[AttentionMask], batched: b
     return Tensor(out_data, requires_grad=True, parents=(scores,), backward=backward)
 
 
+def _attention_softmax_array(
+    scores: np.ndarray, mask: Optional[AttentionMask], batched: bool
+) -> np.ndarray:
+    """Array twin of :func:`_attention_softmax` (mutates the fresh scores)."""
+    if mask is None:
+        return F.softmax_array(scores)
+    bias = mask.bias
+    if bias.dtype != scores.dtype:
+        bias = bias.astype(scores.dtype)
+    if batched and bias.ndim == 3:
+        bias = bias[:, None, :, :]
+    scores += bias
+    F.softmax_array(scores)
+    if mask.dead_rows is not None:
+        allowed = mask.dead_rows
+        if not batched:
+            allowed = allowed[None, :, None]
+        elif allowed.ndim == 1:
+            allowed = allowed[None, None, :, None]
+        else:
+            allowed = allowed[:, None, :, None]
+        scores *= allowed
+    return scores
+
+
 class MultiHeadAttention(Module):
     """Multi-head scaled dot-product attention with an optional boolean mask.
 
@@ -102,6 +142,7 @@ class MultiHeadAttention(Module):
         embed_dim: int,
         num_heads: int,
         rng: Optional[np.random.Generator] = None,
+        compute_dtype=None,
     ) -> None:
         super().__init__()
         if embed_dim % num_heads != 0:
@@ -110,6 +151,13 @@ class MultiHeadAttention(Module):
         self.embed_dim = embed_dim
         self.num_heads = num_heads
         self.head_dim = embed_dim // num_heads
+        #: Optional reduced precision (e.g. ``float32``) for the O(S²) score /
+        #: softmax / context stage.  Projections and the residual stream stay
+        #: float64; q/k/v are cast after projection and the context is cast
+        #: back before the output projection, so only the quadratic-size
+        #: temporaries (and their gradients) run in the reduced dtype.  The
+        #: reference path ignores it.
+        self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
         gain = 1.0
         self.q_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
         self.k_proj = Linear(embed_dim, embed_dim, rng=rng, gain=gain)
@@ -132,6 +180,14 @@ class MultiHeadAttention(Module):
         across each other).  A 2-D mask is broadcast over the batch; a 3-D
         ``(batch, query_len, key_len)`` mask is applied per batch item.
         """
+        if _inference_fast_path():
+            result = self.forward_array(
+                query.data, key.data, value.data, mask=mask, return_weights=return_weights
+            )
+            if return_weights:
+                output, weights = result
+                return Tensor(output), weights
+            return Tensor(result)
         if query.ndim == 2:
             return self._forward_single(query, key, value, mask, return_weights)
         if query.ndim != 3:
@@ -157,6 +213,10 @@ class MultiHeadAttention(Module):
             .reshape(batch, k_len, self.num_heads, self.head_dim)
             .transpose((0, 2, 1, 3))
         )
+        if self.compute_dtype is not None and not reference:
+            q = q.astype(self.compute_dtype)
+            k = k.astype(self.compute_dtype)
+            v = v.astype(self.compute_dtype)
 
         scores = q.matmul(k.swapaxes(-1, -2))  # (batch, heads, q_len, k_len)
         if reference:
@@ -178,10 +238,84 @@ class MultiHeadAttention(Module):
 
         context = weights.matmul(v)  # (batch, heads, q_len, head_dim)
         context = context.transpose((0, 2, 1, 3)).reshape(batch, q_len, self.embed_dim)
+        if context.dtype != np.float64:
+            context = context.astype(np.float64)
         output = self.out_proj(context)
         if return_weights:
             mean_weights = weights.data.mean(axis=1)  # (batch, q_len, k_len)
             return output, mean_weights
+        return output
+
+    def forward_array(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        mask=None,
+        return_weights: bool = False,
+    ):
+        """Raw-array twin of :meth:`forward` for the no-grad fast path.
+
+        Identical operation order to the Tensor path (bit-for-bit outputs);
+        the wins are no per-op graph bookkeeping, in-place softmax on the
+        freshly-built scores and contiguous head layouts for the batched
+        matmuls (numpy's strided batched GEMM is the single slowest call on
+        the rollout profile).
+        """
+        if query.ndim not in (2, 3):
+            raise ValueError(f"expected 2-D or 3-D query, got shape {query.shape}")
+        batched = query.ndim == 3
+        scale = 1.0 / np.sqrt(self.head_dim)
+        heads, head_dim = self.num_heads, self.head_dim
+        q = self.q_proj.forward_array(query)
+        q *= scale  # same values as the Tensor path's q = q * scale
+        k = self.k_proj.forward_array(key)
+        v = self.v_proj.forward_array(value)
+        if batched:
+            batch, q_len, k_len = query.shape[0], query.shape[1], key.shape[1]
+            q = np.ascontiguousarray(
+                q.reshape(batch, q_len, heads, head_dim).transpose(0, 2, 1, 3)
+            )
+            k = np.ascontiguousarray(
+                k.reshape(batch, k_len, heads, head_dim).transpose(0, 2, 1, 3)
+            )
+            v = np.ascontiguousarray(
+                v.reshape(batch, k_len, heads, head_dim).transpose(0, 2, 1, 3)
+            )
+            expected_shapes = ((q_len, k_len), (batch, q_len, k_len))
+        else:
+            q_len, k_len = query.shape[0], key.shape[0]
+            q = np.ascontiguousarray(q.reshape(q_len, heads, head_dim).swapaxes(0, 1))
+            k = np.ascontiguousarray(k.reshape(k_len, heads, head_dim).swapaxes(0, 1))
+            v = np.ascontiguousarray(v.reshape(k_len, heads, head_dim).swapaxes(0, 1))
+            expected_shapes = ((q_len, k_len),)
+        if self.compute_dtype is not None:
+            q = q.astype(self.compute_dtype)
+            k = k.astype(self.compute_dtype)
+            v = v.astype(self.compute_dtype)
+
+        scores = np.matmul(q, np.swapaxes(k, -1, -2))
+        if mask is not None:
+            if not isinstance(mask, AttentionMask):
+                mask = AttentionMask(mask)
+            if mask.shape not in expected_shapes:
+                raise ValueError(
+                    f"mask shape {mask.shape} does not match {expected_shapes[-1]}"
+                )
+        weights = _attention_softmax_array(scores, mask, batched)
+
+        context = np.matmul(weights, v)
+        if batched:
+            context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.embed_dim)
+        else:
+            context = context.swapaxes(0, 1).reshape(q_len, self.embed_dim)
+        if context.dtype != query.dtype:
+            # compute_dtype mode on a float64 stream: cast back before the
+            # output projection (a float32 stream stays float32 throughout).
+            context = context.astype(query.dtype)
+        output = self.out_proj.forward_array(context)
+        if return_weights:
+            return output, weights.mean(axis=1 if batched else 0)
         return output
 
     def _masked_weights_reference(
@@ -234,6 +368,10 @@ class MultiHeadAttention(Module):
         q = q.reshape(q_len, self.num_heads, self.head_dim).swapaxes(0, 1)
         k = self.k_proj(key).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
         v = self.v_proj(value).reshape(k_len, self.num_heads, self.head_dim).swapaxes(0, 1)
+        if self.compute_dtype is not None and not reference:
+            q = q.astype(self.compute_dtype)
+            k = k.astype(self.compute_dtype)
+            v = v.astype(self.compute_dtype)
 
         scores = q.matmul(k.swapaxes(1, 2))  # (heads, q_len, k_len)
         if reference:
@@ -253,6 +391,8 @@ class MultiHeadAttention(Module):
 
         context = weights.matmul(v)  # (heads, q_len, head_dim)
         context = context.swapaxes(0, 1).reshape(q_len, self.embed_dim)
+        if context.dtype != np.float64:
+            context = context.astype(np.float64)
         output = self.out_proj(context)
         if return_weights:
             mean_weights = weights.data.mean(axis=0)  # (q_len, k_len)
@@ -281,6 +421,9 @@ class FeedForward(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.network(x)
 
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        return self.network.forward_array(x)
+
 
 class TransformerEncoderLayer(Module):
     """Standard pre-norm transformer encoder layer with optional mask."""
@@ -292,20 +435,33 @@ class TransformerEncoderLayer(Module):
         hidden_dim: Optional[int] = None,
         activation: str = "relu",
         rng: Optional[np.random.Generator] = None,
+        compute_dtype=None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         hidden_dim = hidden_dim if hidden_dim is not None else 4 * embed_dim
-        self.attention = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.attention = MultiHeadAttention(
+            embed_dim, num_heads, rng=rng, compute_dtype=compute_dtype
+        )
         self.feed_forward = FeedForward(embed_dim, hidden_dim, activation=activation, rng=rng)
         self.norm1 = LayerNorm(embed_dim)
         self.norm2 = LayerNorm(embed_dim)
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if _inference_fast_path():
+            data = x.data if isinstance(x, Tensor) else np.asarray(x)
+            return Tensor(self.forward_array(data, mask=mask))
         normed = self.norm1(x)
         x = x + self.attention(normed, normed, normed, mask=mask)
         x = x + self.feed_forward(self.norm2(x))
         return x
+
+    def forward_array(self, x: np.ndarray, mask=None) -> np.ndarray:
+        """Raw-array twin of :meth:`forward` (bit-for-bit identical)."""
+        normed = self.norm1.forward_array(x)
+        out = x + self.attention.forward_array(normed, normed, normed, mask=mask)
+        out += self.feed_forward.forward_array(self.norm2.forward_array(out))
+        return out
 
 
 class CrossAttentionLayer(Module):
@@ -335,6 +491,18 @@ class CrossAttentionLayer(Module):
         mask: Optional[np.ndarray] = None,
         return_weights: bool = False,
     ):
+        if _inference_fast_path():
+            query_data = query.data if isinstance(query, Tensor) else np.asarray(query)
+            kv_data = (
+                key_value.data if isinstance(key_value, Tensor) else np.asarray(key_value)
+            )
+            result = self.forward_array(
+                query_data, kv_data, mask=mask, return_weights=return_weights
+            )
+            if return_weights:
+                out, weights = result
+                return Tensor(out), weights
+            return Tensor(result)
         q = self.norm_query(query)
         kv = self.norm_key(key_value)
         if return_weights:
@@ -344,6 +512,29 @@ class CrossAttentionLayer(Module):
             weights = None
         out = query + attended
         out = out + self.feed_forward(self.norm_out(out))
+        if return_weights:
+            return out, weights
+        return out
+
+    def forward_array(
+        self,
+        query: np.ndarray,
+        key_value: np.ndarray,
+        mask=None,
+        return_weights: bool = False,
+    ):
+        """Raw-array twin of :meth:`forward` (bit-for-bit identical)."""
+        q = self.norm_query.forward_array(query)
+        kv = self.norm_key.forward_array(key_value)
+        weights = None
+        if return_weights:
+            attended, weights = self.attention.forward_array(
+                q, kv, kv, mask=mask, return_weights=True
+            )
+        else:
+            attended = self.attention.forward_array(q, kv, kv, mask=mask)
+        out = query + attended
+        out += self.feed_forward.forward_array(self.norm_out.forward_array(out))
         if return_weights:
             return out, weights
         return out

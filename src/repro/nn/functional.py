@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, reference_mode_active, reference_ops, where
+from .tensor import Tensor, grad_enabled, reference_mode_active, reference_ops, where
 
 MASK_FILL_VALUE = -1e9
 
@@ -101,7 +101,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     np.exp(shifted, out=shifted)
     shifted /= shifted.sum(axis=axis, keepdims=True)
     out_data = shifted
-    if not x.requires_grad:
+    if not x.requires_grad or not grad_enabled():
         return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
@@ -125,7 +125,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
         return _log_softmax_reference(x, axis=axis)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     out_data = shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    if not x.requires_grad:
+    if not x.requires_grad or not grad_enabled():
         return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
@@ -203,7 +203,7 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     if bias is not None:
         out_data += bias.data
     out_data = out_data.reshape(lead + (weight.shape[0],))
-    requires = (
+    requires = grad_enabled() and (
         x.requires_grad
         or weight.requires_grad
         or (bias is not None and bias.requires_grad)
@@ -248,7 +248,7 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     normalized = centered
     out_data = normalized * weight.data
     out_data += bias.data
-    if not (x.requires_grad or weight.requires_grad or bias.requires_grad):
+    if not grad_enabled() or not (x.requires_grad or weight.requires_grad or bias.requires_grad):
         return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
@@ -271,6 +271,78 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     return Tensor(
         out_data, requires_grad=True, parents=(x, weight, bias), backward=backward
     )
+
+
+# ---------------------------------------------------------------------- #
+# Inference array kernels
+# ---------------------------------------------------------------------- #
+# Raw-``ndarray`` mirrors of the ops above, used by the layer-level
+# ``forward_array`` fast paths when autograd recording is off
+# (``repro.nn.no_grad``).  Each mirrors its Tensor twin operation-for-
+# operation — same formulas, same evaluation order — so the numbers are
+# bit-for-bit identical; what they drop is the per-op Tensor wrapping, and
+# they may mutate arrays they just allocated.
+
+
+def linear_array(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]) -> np.ndarray:
+    """Array twin of :func:`linear`."""
+    lead = x.shape[:-1]
+    out = x.reshape(-1, x.shape[-1]) @ weight.T
+    if bias is not None:
+        out += bias
+    return out.reshape(lead + (weight.shape[0],))
+
+
+def layer_norm_array(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Array twin of :func:`layer_norm`."""
+    dim = x.shape[-1]
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = np.einsum("...i,...i->...", centered, centered)[..., None] / dim
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    centered *= inv_std
+    out = centered * weight
+    out += bias
+    return out
+
+
+def softmax_array(x: np.ndarray) -> np.ndarray:
+    """Array twin of :func:`softmax` over the last axis (mutates ``x``).
+
+    Callers pass freshly-computed score arrays, so the in-place update is
+    safe and saves one full-size temporary per call.
+    """
+    x -= x.max(axis=-1, keepdims=True)
+    np.exp(x, out=x)
+    x /= x.sum(axis=-1, keepdims=True)
+    return x
+
+
+def _gelu_array(x: np.ndarray) -> np.ndarray:
+    cubic = x * x * x
+    inner = (x + cubic * 0.044715) * float(np.sqrt(2.0 / np.pi))
+    return (x * 0.5) * (np.tanh(inner) + 1.0)
+
+
+ACTIVATION_ARRAYS = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "tanh": np.tanh,
+    "gelu": _gelu_array,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "leaky_relu": lambda x: np.where(x > 0.0, x, x * 0.01),
+}
+
+
+def get_activation_array(name: str):
+    """Array twin of :func:`get_activation`."""
+    try:
+        return ACTIVATION_ARRAYS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation '{name}'; expected one of {sorted(ACTIVATION_ARRAYS)}"
+        )
 
 
 # ---------------------------------------------------------------------- #

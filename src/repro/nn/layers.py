@@ -16,7 +16,26 @@ import numpy as np
 from . import functional as F
 from . import init as initializers
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, grad_enabled
+
+
+def cast_param(module: Module, name: str, dtype) -> np.ndarray:
+    """Cached reduced-precision copy of a parameter's array.
+
+    The float32 inference mode runs the whole no-grad forward in float32;
+    re-casting every weight on every call would dominate, so the cast array
+    is cached on the module, keyed by the *identity* of ``param.data`` —
+    safe because every writer (optimizer steps, checkpoint loads) reassigns
+    ``param.data`` to a fresh array rather than mutating it in place.
+    """
+    param = getattr(module, name)
+    cache = module.__dict__.setdefault("_cast_param_cache", {})
+    entry = cache.get(name)
+    if entry is None or entry[0] is not param.data:
+        cast = param.data.astype(dtype)
+        cache[name] = (param.data, cast)
+        return cast
+    return entry[1]
 
 
 class Linear(Module):
@@ -54,6 +73,22 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array twin of :meth:`forward` for the no-grad fast path.
+
+        A float32 input selects cached float32 parameter copies, keeping the
+        whole projection (GEMM + bias) in reduced precision.
+        """
+        if x.dtype == np.float32:
+            return F.linear_array(
+                x,
+                cast_param(self, "weight", np.float32),
+                cast_param(self, "bias", np.float32) if self.has_bias else None,
+            )
+        return F.linear_array(
+            x, self.weight.data, self.bias.data if self.has_bias else None
+        )
+
 
 class LayerNorm(Module):
     """Layer normalization over the final feature dimension."""
@@ -67,6 +102,17 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array twin of :meth:`forward` for the no-grad fast path."""
+        if x.dtype == np.float32:
+            return F.layer_norm_array(
+                x,
+                cast_param(self, "weight", np.float32),
+                cast_param(self, "bias", np.float32),
+                eps=self.eps,
+            )
+        return F.layer_norm_array(x, self.weight.data, self.bias.data, eps=self.eps)
 
 
 class Dropout(Module):
@@ -102,6 +148,12 @@ class Sequential(Module):
             x = layer(x)
         return x
 
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array twin of :meth:`forward` for the no-grad fast path."""
+        for layer in self._layers:
+            x = layer.forward_array(x)
+        return x
+
     def __iter__(self):
         return iter(self._layers)
 
@@ -116,9 +168,13 @@ class Activation(Module):
         super().__init__()
         self.name = name
         self._fn: Callable[[Tensor], Tensor] = F.get_activation(name)
+        self._array_fn = F.get_activation_array(name)
 
     def forward(self, x: Tensor) -> Tensor:
         return self._fn(x)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        return self._array_fn(x)
 
 
 class MLP(Module):
@@ -156,6 +212,14 @@ class MLP(Module):
         self.out_features = out_features
 
     def forward(self, x: Tensor) -> Tensor:
+        if (
+            isinstance(x, Tensor)
+            and x.ndim >= 2
+            and not F.reference_mode_active()
+            and not grad_enabled()
+        ):
+            # No-grad fast path: run the stack on raw arrays, wrap once.
+            return Tensor(self.network.forward_array(x.data))
         return self.network(x)
 
 

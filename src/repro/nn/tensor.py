@@ -13,6 +13,7 @@ integer arrays (e.g. index tensors) can be wrapped but never require gradients.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,6 +47,38 @@ class reference_ops:
     def __exit__(self, *exc):
         global _reference_mode
         _reference_mode = self._previous
+        return False
+
+
+#: When disabled, ops skip graph construction entirely: outputs are plain
+#: tensors with no parents or backward closures, regardless of the inputs'
+#: ``requires_grad``.  The numbers computed are bit-for-bit identical to the
+#: tracking path (same operations in the same order); only the bookkeeping is
+#: dropped.  Rollout collection and serving flip this off — they never call
+#: ``backward()`` — which removes the per-op closure/parent allocation that
+#: dominates small-tensor forwards.  The flag is THREAD-LOCAL: the serving
+#: layer runs inference from several threads concurrently with nothing else,
+#: but a process may also train on one thread while another serves — a
+#: process-global flag would let interleaved enter/exit pairs strand autograd
+#: off for everyone.
+_grad_state = threading.local()
+
+
+def grad_enabled() -> bool:
+    """Whether new ops record the autograd graph (per thread)."""
+    return getattr(_grad_state, "enabled", True)
+
+
+class no_grad:
+    """Context manager disabling autograd graph recording (inference mode)."""
+
+    def __enter__(self):
+        self._previous = grad_enabled()
+        _grad_state.enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        _grad_state.enabled = self._previous
         return False
 
 
@@ -156,8 +189,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        if not requires:
+        if not grad_enabled() or not any(p.requires_grad for p in parents):
             return Tensor(data)
         return Tensor(data, requires_grad=True, parents=parents, backward=backward)
 
@@ -529,6 +561,24 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (the backward casts the gradient back).
+
+        Used by the float32 attention compute mode: downstream ops run in the
+        target precision and their (float32) gradients are re-cast to the
+        parent's dtype on accumulation.
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        out_data = self.data.astype(dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)  # _accumulate casts to self.data.dtype
+
+        return self._make(out_data, (self,), backward)
+
 
 # ---------------------------------------------------------------------- #
 # Free-standing constructors and graph-level ops
@@ -560,8 +610,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(slicer)])
 
-    requires = any(t.requires_grad for t in tensors)
-    if not requires:
+    if not grad_enabled() or not any(t.requires_grad for t in tensors):
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
 
@@ -577,8 +626,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(moved[i])
 
-    requires = any(t.requires_grad for t in tensors)
-    if not requires:
+    if not grad_enabled() or not any(t.requires_grad for t in tensors):
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward=backward)
 
@@ -596,7 +644,6 @@ def where(condition: np.ndarray, a: Union[Tensor, ArrayLike], b: Union[Tensor, A
         if b.requires_grad:
             b._accumulate(grad * (~cond if cond.dtype == bool else 1.0 - cond))
 
-    requires = a.requires_grad or b.requires_grad
-    if not requires:
+    if not grad_enabled() or not (a.requires_grad or b.requires_grad):
         return Tensor(out_data)
     return Tensor(out_data, requires_grad=True, parents=(a, b), backward=backward)

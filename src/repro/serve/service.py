@@ -23,6 +23,7 @@ metrics (initial/final objective under the requested objective function).
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
 import time
@@ -30,12 +31,18 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..baselines.base import ReschedulingResult, evaluate_plan
+from ..baselines.base import PlanEvaluation, ReschedulingResult, evaluate_plan
 from ..cluster import ClusterState
 from .registry import Planner, PlannerRegistry, build_default_registry
 from .schemas import PlanError, PlanRequest, PlanResponse, SchemaError
 
 Reply = Union[PlanResponse, PlanError]
+
+
+def _evaluate_plan_task(payload) -> PlanEvaluation:
+    """Worker-pool task replaying one plan (module-level: spawn-picklable)."""
+    state, result, objective = payload
+    return evaluate_plan(state, result, objective=objective)
 
 
 @dataclass
@@ -50,12 +57,19 @@ class ServiceConfig:
     micro_batching: bool = True
     #: Reject snapshots above this VM count (simple overload protection).
     max_snapshot_vms: int = 200_000
+    #: With ``> 0``, plan-quality evaluation (replaying each returned plan on
+    #: a copy of its snapshot) for multi-request groups runs on a process
+    #: pool of this size instead of inline — useful when large snapshots make
+    #: the replay dominate response time.  ``0`` evaluates in-process.
+    eval_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must not be negative")
+        if self.eval_workers < 0:
+            raise ValueError("eval_workers must not be negative")
 
 
 @dataclass
@@ -80,6 +94,8 @@ class ReschedulingService:
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._running = False
+        self._eval_pool = None
+        self._eval_pool_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._stats: Dict[str, float] = {
             "requests": 0,
@@ -142,13 +158,17 @@ class ReschedulingService:
         self._worker.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        if not self._running:
-            return
-        self._running = False
-        self._queue.put(None)  # wake the worker
-        if self._worker is not None:
-            self._worker.join(timeout=timeout)
-            self._worker = None
+        if self._running:
+            self._running = False
+            self._queue.put(None)  # wake the worker
+            if self._worker is not None:
+                self._worker.join(timeout=timeout)
+                self._worker = None
+        with self._eval_pool_lock:
+            if self._eval_pool is not None:
+                self._eval_pool.terminate()
+                self._eval_pool.join()
+                self._eval_pool = None
 
     def submit(self, request: PlanRequest) -> "Future[Reply]":
         """Enqueue a request for the batching worker; resolves to a reply."""
@@ -257,17 +277,69 @@ class ReschedulingService:
         # width); a group larger than max_batch_size streams through that
         # many slots via continuous admission.
         width = min(len(group), self.config.max_batch_size) if len(group) > 1 else 1
-        for (index, request, _, state, request_objective), result in zip(group, results):
+        evaluations = self._evaluate_group(
+            [
+                (state, result, request_objective)
+                for (_, _, _, state, request_objective), result in zip(group, results)
+            ]
+        )
+        for (index, request, _, state, request_objective), result, evaluation in zip(
+            group, results, evaluations
+        ):
             replies[index] = self._respond(
                 request,
                 state,
                 request_objective,
                 result,
+                evaluation,
                 latency_ms=(time.perf_counter() - received) * 1e3,
                 queue_ms=queue_ms,
                 inference_ms=inference_ms,
                 batch_size=width,
             )
+
+    #: Upper bound on one pooled evaluation batch; past this the pool is
+    #: presumed wedged, torn down and the batch re-runs inline.
+    _EVAL_POOL_TIMEOUT_S = 60.0
+
+    def _evaluate_group(self, payloads: List[Tuple]) -> List[PlanEvaluation]:
+        """Replay each group member's plan, optionally on the worker pool.
+
+        Pool dispatch only pays off for multi-request groups (one pickle
+        round trip per request); singleton groups, pool failures and pool
+        timeouts fall back to inline evaluation — a failed or wedged pool is
+        torn down (and lazily rebuilt next time) rather than cached broken,
+        so the pool can never fail a request.
+        """
+        if self.config.eval_workers > 0 and len(payloads) > 1:
+            try:
+                pool = self._ensure_eval_pool()
+                return pool.map_async(_evaluate_plan_task, payloads).get(
+                    timeout=self._EVAL_POOL_TIMEOUT_S
+                )
+            except Exception:
+                self._discard_eval_pool()  # fall back to inline evaluation
+        return [_evaluate_plan_task(payload) for payload in payloads]
+
+    def _ensure_eval_pool(self):
+        with self._eval_pool_lock:
+            if self._eval_pool is None:
+                # Always spawn: the service process is multi-threaded by
+                # construction (queue worker + HTTP handler threads), and
+                # forking a multi-threaded process can deadlock the child.
+                context = multiprocessing.get_context("spawn")
+                self._eval_pool = context.Pool(processes=self.config.eval_workers)
+            return self._eval_pool
+
+    def _discard_eval_pool(self) -> None:
+        with self._eval_pool_lock:
+            if self._eval_pool is not None:
+                try:
+                    self._eval_pool.terminate()
+                    self._eval_pool.join()
+                except Exception:
+                    pass
+                self._eval_pool = None
 
     def _respond(
         self,
@@ -275,12 +347,12 @@ class ReschedulingService:
         state: ClusterState,
         objective,
         result: ReschedulingResult,
+        evaluation: PlanEvaluation,
         latency_ms: float,
         queue_ms: float,
         inference_ms: float,
         batch_size: int,
     ) -> PlanResponse:
-        evaluation = evaluate_plan(state, result, objective=objective)
         metrics = {
             "latency_ms": latency_ms,
             "queue_ms": queue_ms,

@@ -143,13 +143,19 @@ class TestExtractors:
 
     def test_sparse_extractor_uses_tree_structure(self, model_config):
         """Changing which PM hosts a VM changes the sparse extractor's output."""
+        import dataclasses
+
         state = small_cluster()
         obs = observation_of(state)
         batch_a = build_feature_batch(obs)
         extractor = SparseAttentionExtractor(model_config, rng=np.random.default_rng(0))
         out_a = extractor(batch_a).vm_embeddings.numpy()
-        batch_b = build_feature_batch(obs)
-        batch_b.tree_mask[:] = True  # pretend everything shares a tree
+        # Re-host the first placed VM on a different PM: identical features,
+        # different tree structure — the tree-local stage must notice.
+        moved = obs.vm_source_pm.copy()
+        placed = int(np.flatnonzero(moved >= 0)[0])
+        moved[placed] = (moved[placed] + 1) % obs.num_pms
+        batch_b = build_feature_batch(dataclasses.replace(obs, vm_source_pm=moved))
         out_b = extractor(batch_b).vm_embeddings.numpy()
         assert not np.allclose(out_a, out_b)
 

@@ -1,0 +1,320 @@
+"""Tests for the multi-process AsyncVectorEnv and its shared-memory transport.
+
+Factories are built with :func:`functools.partial` over module-level
+callables so they stay picklable under the ``spawn`` start method — the same
+constraint real training code obeys.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstraintConfig
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env import (
+    AsyncVectorEnv,
+    AsyncVectorEnvError,
+    SharedObservationBuffers,
+    SyncVectorEnv,
+    VMRescheduleEnv,
+    VectorEnv,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    spec = ClusterSpec(name="async", num_pms=6, target_utilization=0.72, best_fit_fraction=0.3)
+    return SnapshotGenerator(spec, seed=11).generate()
+
+
+@pytest.fixture(scope="module")
+def small_snapshot():
+    spec = ClusterSpec(name="async-small", num_pms=5, target_utilization=0.6, best_fit_fraction=0.3)
+    return SnapshotGenerator(spec, seed=3).generate()
+
+
+def factories(snapshot, count, migration_limit=4):
+    config = ConstraintConfig(migration_limit=migration_limit)
+    return [partial(VMRescheduleEnv, snapshot.copy(), config) for _ in range(count)]
+
+
+def assert_observations_equal(lhs, rhs):
+    np.testing.assert_array_equal(lhs.pm_features, rhs.pm_features)
+    np.testing.assert_array_equal(lhs.vm_features, rhs.vm_features)
+    np.testing.assert_array_equal(lhs.vm_source_pm, rhs.vm_source_pm)
+    np.testing.assert_array_equal(lhs.vm_mask, rhs.vm_mask)
+    assert lhs.vm_ids == rhs.vm_ids
+    assert lhs.pm_ids == rhs.pm_ids
+    assert lhs.migrations_left == rhs.migrations_left
+
+
+def first_actions(observations):
+    """One deterministic legal action per env (first movable VM, first legal PM)."""
+    actions = []
+    for obs in observations:
+        vm_index = int(np.flatnonzero(obs.vm_mask)[0])
+        actions.append((vm_index, None))
+    return actions
+
+
+class TestProtocol:
+    def test_both_backends_are_vector_envs(self, snapshot):
+        sync = SyncVectorEnv(factories(snapshot, 2))
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        try:
+            assert isinstance(sync, VectorEnv)
+            assert isinstance(venv, VectorEnv)
+        finally:
+            venv.close()
+            sync.close()
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncVectorEnv([])
+
+    def test_bad_worker_count_rejected(self, snapshot):
+        with pytest.raises(ValueError):
+            AsyncVectorEnv(factories(snapshot, 2), num_workers=0)
+
+
+class TestResetStepParity:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    def test_reset_matches_sync(self, snapshot, num_workers):
+        sync = SyncVectorEnv(factories(snapshot, 3))
+        venv = AsyncVectorEnv(factories(snapshot, 3), num_workers=num_workers)
+        try:
+            for sync_obs, async_obs in zip(sync.reset(), venv.reset()):
+                assert_observations_equal(sync_obs, async_obs)
+        finally:
+            venv.close()
+            sync.close()
+
+    def test_step_matches_sync(self, snapshot):
+        sync = SyncVectorEnv(factories(snapshot, 2))
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        try:
+            sync_obs, async_obs = sync.reset(), venv.reset()
+            for _ in range(3):
+                actions = []
+                for index, obs in enumerate(sync_obs):
+                    vm_index = int(np.flatnonzero(obs.vm_mask)[0])
+                    pm_index = int(
+                        np.flatnonzero(sync.pm_action_mask(index, vm_index))[0]
+                    )
+                    actions.append((vm_index, pm_index))
+                sync_obs, s_rewards, s_dones, s_infos = sync.step(actions)
+                async_obs, a_rewards, a_dones, a_infos = venv.step(actions)
+                np.testing.assert_array_equal(s_rewards, a_rewards)
+                np.testing.assert_array_equal(s_dones, a_dones)
+                for lhs, rhs in zip(sync_obs, async_obs):
+                    assert_observations_equal(lhs, rhs)
+                for s_info, a_info in zip(s_infos, a_infos):
+                    assert s_info["fragment_rate"] == a_info["fragment_rate"]
+                    assert s_info["steps_taken"] == a_info["steps_taken"]
+        finally:
+            venv.close()
+            sync.close()
+
+    def test_auto_reset_reports_terminal_observation(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 1, migration_limit=1), num_workers=1)
+        try:
+            observations = venv.reset()
+            vm_index = int(np.flatnonzero(observations[0].vm_mask)[0])
+            pm_index = int(np.flatnonzero(venv.pm_action_mask(0, vm_index))[0])
+            next_obs, _, dones, infos = venv.step([(vm_index, pm_index)])
+            assert dones[0]
+            # The returned observation is the NEXT episode's first one...
+            assert next_obs[0].migrations_left == 1
+            # ...and the terminal observation rides along in the info dict.
+            terminal = infos[0]["terminal_observation"]
+            assert terminal.migrations_left == 0
+        finally:
+            venv.close()
+
+    def test_wrong_action_count_rejected(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=1)
+        try:
+            venv.reset()
+            with pytest.raises(ValueError):
+                venv.step([(0, 0)])
+        finally:
+            venv.close()
+
+
+class TestMasksAndCalls:
+    def test_pm_action_masks_match_sync(self, snapshot):
+        sync = SyncVectorEnv(factories(snapshot, 3))
+        venv = AsyncVectorEnv(factories(snapshot, 3), num_workers=2)
+        try:
+            observations = sync.reset()
+            venv.reset()
+            vm_indices = [int(np.flatnonzero(obs.vm_mask)[0]) for obs in observations]
+            np.testing.assert_array_equal(
+                sync.pm_action_masks(vm_indices), venv.pm_action_masks(vm_indices)
+            )
+            np.testing.assert_array_equal(
+                sync.pm_action_mask(1, vm_indices[1]), venv.pm_action_mask(1, vm_indices[1])
+            )
+        finally:
+            venv.close()
+            sync.close()
+
+    def test_joint_action_masks_match_sync(self, snapshot):
+        sync = SyncVectorEnv(factories(snapshot, 2))
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        try:
+            sync.reset()
+            venv.reset()
+            for lhs, rhs in zip(sync.joint_action_masks(), venv.joint_action_masks()):
+                np.testing.assert_array_equal(lhs, rhs)
+        finally:
+            venv.close()
+            sync.close()
+
+    def test_call_collects_from_every_env(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 3), num_workers=2)
+        try:
+            venv.reset()
+            rates = venv.call("fragment_rate")
+            assert len(rates) == 3
+            assert len(set(rates)) == 1  # identical snapshots
+        finally:
+            venv.close()
+
+
+class TestLifecycleAndErrors:
+    def test_worker_error_propagates_with_traceback(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        try:
+            venv.reset()
+            with pytest.raises(AsyncVectorEnvError) as excinfo:
+                venv.step([(10 ** 6, 0)] * 2)  # out-of-range vm_index
+            assert "IndexError" in str(excinfo.value)
+            assert "worker" in str(excinfo.value)
+        finally:
+            venv.close()
+
+    def test_close_is_idempotent_and_rejects_use(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        venv.reset()
+        venv.close()
+        venv.close()
+        with pytest.raises(RuntimeError):
+            venv.reset()
+
+    def test_context_manager_closes(self, snapshot):
+        with AsyncVectorEnv(factories(snapshot, 2), num_workers=2) as venv:
+            venv.reset()
+        with pytest.raises(RuntimeError):
+            venv.reset()
+
+    def test_capacity_overflow_is_actionable(self, snapshot, small_snapshot):
+        # Buffers sized from the small probe env; the bigger env cannot fit.
+        config = ConstraintConfig(migration_limit=3)
+        fns = [
+            partial(VMRescheduleEnv, small_snapshot.copy(), config),
+            partial(VMRescheduleEnv, snapshot.copy(), config),
+        ]
+        venv = AsyncVectorEnv(fns, num_workers=2)
+        try:
+            with pytest.raises(AsyncVectorEnvError) as excinfo:
+                venv.reset()
+            assert "max_pms/max_vms" in str(excinfo.value)
+        finally:
+            venv.close()
+
+    def test_mixed_sizes_fit_with_explicit_capacity(self, snapshot, small_snapshot):
+        config = ConstraintConfig(migration_limit=3)
+        fns = [
+            partial(VMRescheduleEnv, small_snapshot.copy(), config),
+            partial(VMRescheduleEnv, snapshot.copy(), config),
+        ]
+        venv = AsyncVectorEnv(
+            fns,
+            num_workers=2,
+            max_pms=max(small_snapshot.num_pms, snapshot.num_pms),
+            max_vms=max(small_snapshot.num_vms, snapshot.num_vms),
+        )
+        try:
+            observations = venv.reset()
+            assert observations[0].num_vms == small_snapshot.num_vms
+            assert observations[1].num_vms == snapshot.num_vms
+        finally:
+            venv.close()
+
+
+class TestSeedingDeterminism:
+    def test_seed_reaches_each_env(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 3), num_workers=2, seed=123)
+        try:
+            venv.reset()
+            # env.rng is seeded with seed + env_index: identical envs seeded
+            # identically must produce identical generator draws per slot.
+            draws = venv.get_attr("rng")  # generators come back pickled
+            values = [rng.integers(1 << 30) for rng in draws]
+            expected = [
+                np.random.default_rng(123 + index).integers(1 << 30)
+                for index in range(3)
+            ]
+            assert values == expected
+        finally:
+            venv.close()
+
+    def test_reseed_via_protocol(self, snapshot):
+        venv = AsyncVectorEnv(factories(snapshot, 2), num_workers=2)
+        try:
+            venv.reset()
+            venv.seed(7)
+            draws = [rng.integers(1 << 30) for rng in venv.get_attr("rng")]
+            expected = [
+                np.random.default_rng(7 + index).integers(1 << 30) for index in range(2)
+            ]
+            assert draws == expected
+        finally:
+            venv.close()
+
+
+class TestSpawnStartMethod:
+    """What macOS/Windows would run: factories and buffers must pickle."""
+
+    def test_spawn_reset_matches_fork(self, snapshot):
+        fork_env = AsyncVectorEnv(factories(snapshot, 2), num_workers=2, start_method="fork")
+        spawn_env = AsyncVectorEnv(factories(snapshot, 2), num_workers=2, start_method="spawn")
+        try:
+            for lhs, rhs in zip(fork_env.reset(), spawn_env.reset()):
+                assert_observations_equal(lhs, rhs)
+        finally:
+            spawn_env.close()
+            fork_env.close()
+
+
+class TestSharedObservationBuffers:
+    def test_round_trip_preserves_observation(self, snapshot):
+        env = VMRescheduleEnv(snapshot.copy(), ConstraintConfig(migration_limit=4))
+        observation = env.reset()
+        buffers = SharedObservationBuffers(2, observation.num_pms, observation.num_vms)
+        buffers.write_observation(1, observation)
+        assert_observations_equal(observation, buffers.read_observation(1))
+
+    def test_reads_are_copies(self, snapshot):
+        env = VMRescheduleEnv(snapshot.copy(), ConstraintConfig(migration_limit=4))
+        observation = env.reset()
+        buffers = SharedObservationBuffers(1, observation.num_pms, observation.num_vms)
+        buffers.write_observation(0, observation)
+        first = buffers.read_observation(0)
+        buffers.views["pm_features"][0] = -1.0
+        assert (first.pm_features != -1.0).any()
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SharedObservationBuffers(0, 4, 4)
+        with pytest.raises(ValueError):
+            SharedObservationBuffers(1, 0, 4)
+
+    def test_zero_vm_capacity_views_work(self):
+        buffers = SharedObservationBuffers(2, 4, 0)
+        assert buffers.views["vm_features"].shape == (2, 0, 14)
+        assert buffers.views["pm_features"].shape == (2, 4, 8)
+        rewards, dones = buffers.read_steps()
+        assert rewards.shape == (2,) and dones.shape == (2,)
