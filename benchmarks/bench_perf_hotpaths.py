@@ -26,10 +26,11 @@ from repro.core import ModelConfig, PPOConfig
 from repro.core.features import FeatureBatch
 from repro.core.policy import TwoStagePolicy
 from repro.core.ppo import PPOTrainer
+from repro.core.step_cache import StepCache
 from repro.datasets import ClusterSpec, SnapshotGenerator
 from repro.env import AsyncVectorEnv, SyncVectorEnv, VMRescheduleEnv
 from repro.env.observation import ObservationBuilder
-from repro.nn import reference_ops
+from repro.nn import MultiHeadAttention, no_grad, reference_ops
 
 
 def _medium_state(num_pms: int, seed: int = 0):
@@ -195,6 +196,112 @@ def run(
         FeatureBatch.tree_grouping = original_grouping
     record("act_single_sparse", dense_act_s, sparse_act_s)
 
+    # 4b-large. Large-V serving case (~200 PMs / ~2000 VMs at full scale):
+    # the dense VM↔VM self-attention stage bounds the no-grad inference
+    # forward here, and its softmax exp/div passes stream an S×S score
+    # tensor through memory several times.  Three comparisons:
+    #   vm_attention_large  — the VM↔VM attention stage alone, dense kernel
+    #                         vs the chunked streaming-softmax kernel;
+    #   act_large_inference — one full no-grad `act` forward, dense vs
+    #                         chunked ModelConfig (same weights);
+    #   rollout_cached_steps — per-step cost of a greedy multi-step rollout,
+    #                         fresh featurize/encode vs the StepCache
+    #                         (chunked kernel on both sides).
+    large_pms = 12 if smoke else 200
+    large_spec = ClusterSpec(
+        name="perf-large",
+        num_pms=large_pms,
+        target_utilization=0.78,
+        best_fit_fraction=0.1,
+    )
+    large_state = SnapshotGenerator(large_spec, seed=7).generate()
+    large_v = large_state.num_vms
+    chunk = ModelConfig().attention_chunk_size
+    attn_rng = np.random.default_rng(0)
+    vm_stream = attn_rng.normal(size=(large_v, ModelConfig().embed_dim))
+    dense_attention = MultiHeadAttention(
+        ModelConfig().embed_dim, ModelConfig().num_heads, rng=np.random.default_rng(1)
+    )
+    chunked_attention = MultiHeadAttention(
+        ModelConfig().embed_dim, ModelConfig().num_heads,
+        rng=np.random.default_rng(1), chunk_size=chunk,
+    )
+    attn_repeats = 2 if smoke else 5
+    with no_grad():
+        record(
+            "vm_attention_large",
+            _time(lambda: dense_attention.forward_array(vm_stream, vm_stream, vm_stream), attn_repeats),
+            _time(lambda: chunked_attention.forward_array(vm_stream, vm_stream, vm_stream), attn_repeats),
+        )
+    results["vm_attention_large"]["num_vms"] = large_v
+    results["vm_attention_large"]["chunk_size"] = chunk
+
+    def large_act_seconds(model: ModelConfig, repeats: int) -> float:
+        policy = TwoStagePolicy(model, rng=np.random.default_rng(0))
+        env = VMRescheduleEnv(
+            large_state.copy(), constraint_config=ConstraintConfig(migration_limit=25)
+        )
+        observation = env.reset()
+
+        def once():
+            with no_grad():
+                policy.act(
+                    observation,
+                    pm_mask_fn=env.pm_action_mask,
+                    rng=np.random.default_rng(0),
+                    greedy=True,
+                    compute_stats=False,
+                )
+
+        once()  # warm-up
+        return _time(once, repeats)
+
+    large_act_repeats = 2 if smoke else 3
+    record(
+        "act_large_inference",
+        large_act_seconds(ModelConfig(), large_act_repeats),
+        large_act_seconds(ModelConfig(attention_impl="chunked"), large_act_repeats),
+    )
+    results["act_large_inference"]["cluster"] = {
+        "num_pms": large_state.num_pms, "num_vms": large_v,
+    }
+
+    def rollout_per_step_seconds(use_cache: bool, steps: int, repeats: int) -> float:
+        policy = TwoStagePolicy(
+            ModelConfig(attention_impl="chunked"), rng=np.random.default_rng(0)
+        )
+        env = VMRescheduleEnv(
+            large_state.copy(), constraint_config=ConstraintConfig(migration_limit=steps)
+        )
+
+        def episode() -> None:
+            observation = env.reset()
+            cache = StepCache() if use_cache else None
+            done = False
+            while not done and observation.vm_mask.any():
+                with no_grad():
+                    output = policy.act(
+                        observation,
+                        pm_mask_fn=env.pm_action_mask,
+                        rng=np.random.default_rng(0),
+                        greedy=True,
+                        compute_stats=False,
+                        step_cache=cache,
+                    )
+                observation, _, done, _ = env.step(output.action)
+
+        episode()  # warm-up
+        return _time(episode, repeats) / max(env.steps_taken, 1)
+
+    cached_steps = 4 if smoke else 10
+    cached_repeats = 1 if smoke else 2
+    record(
+        "rollout_cached_steps",
+        rollout_per_step_seconds(False, cached_steps, cached_repeats),
+        rollout_per_step_seconds(True, cached_steps, cached_repeats),
+    )
+    results["rollout_cached_steps"]["steps"] = cached_steps
+
     # 4c. Multi-process async experience collection at equal env count.
     # Legacy = the PR-3 collection path verbatim: SyncVectorEnv stepped in
     # the trainer process with grad-tracking float64 forwards
@@ -210,8 +317,21 @@ def run(
     async_pms = 6 if smoke else 20
     async_envs = 4 if smoke else 32
     async_steps = 8 if smoke else 64
-    worker_counts = [2] if smoke else [1, 2, 4, 8]
+    cpu_count = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
     headline_workers = 2 if smoke else 4
+    # The worker sweep only differentiates when there are cores to spread
+    # over: on a 1-core runner every worker count measures the same serial
+    # execution plus IPC, so the sweep is skipped (one headline point is
+    # still recorded) and the payload says why.
+    sweep_skipped_single_core = cpu_count is not None and cpu_count <= 1
+    if sweep_skipped_single_core:
+        worker_counts = [headline_workers]
+    else:
+        worker_counts = [2] if smoke else [1, 2, 4, 8]
     async_state = _medium_state(async_pms, seed=3)
     async_constraints = ConstraintConfig(migration_limit=8)
     async_fns = [
@@ -258,6 +378,7 @@ def run(
     }
     results["rollout_epoch_async"]["num_envs"] = async_envs
     results["rollout_epoch_async"]["start_method"] = resolved_start_method
+    results["rollout_epoch_async"]["sweep_skipped_single_core"] = sweep_skipped_single_core
     # Attribution: the headline speedup is PR-3 path vs the full PR-4 stack.
     # This ratio isolates the worker pool's own contribution by comparing
     # against the same-policy-config sync control — on a single-core runner
@@ -317,8 +438,9 @@ def run(
         # cannot overlap env stepping with the policy forward, so the
         # per-worker-count numbers are flat (IPC overhead only) and the
         # async speedup reflects the inference-path work; multi-core runners
-        # additionally hide the env share inside the workers.
-        "cpu_count": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        # additionally hide the env share inside the workers.  The sweep is
+        # skipped entirely on 1-core runners (see sweep_skipped_single_core).
+        "cpu_count": cpu_count,
         "results": results,
     }
     if output is not None:

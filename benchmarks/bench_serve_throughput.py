@@ -10,8 +10,12 @@ Replays a fixed set of greedy RL :class:`PlanRequest`\\ s through the
   group (the PR 1/2 hot path) —
 
 and reports requests/sec plus p50/p99 per-request latency for both, writing
-``BENCH_serve_throughput.json``.  The acceptance bar is ≥2× requests/sec for
-micro-batched dispatch at batch size ≥ 8.
+``BENCH_serve_throughput.json``.  The original (PR 3) acceptance bar was ≥2×
+requests/sec for micro-batched dispatch at batch size ≥ 8, measured against
+the then-uncached sequential baseline; the PR-5 step cache roughly tripled
+the *sequential* baseline too (both modes use it), so the watched bar is now
+≥1.5× relative — regressions in either absolute throughput column are what
+to look for.
 
 Run:  PYTHONPATH=src python benchmarks/bench_serve_throughput.py [--smoke] [--output PATH]
 """
@@ -181,9 +185,10 @@ def main() -> int:
         batch_size=args.batch_size,
         num_requests=args.num_requests,
     )
-    if payload["speedup_requests_per_s"] < 2.0:
+    if payload["speedup_requests_per_s"] < 1.5:
         print(f"WARNING: micro-batching speedup {payload['speedup_requests_per_s']:.2f}x "
-              "is below the 2x acceptance bar")
+              "is below the 1.5x relative bar (see module docstring; the "
+              "step cache lifted the sequential baseline in PR 5)")
     return 0
 
 

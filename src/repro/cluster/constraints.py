@@ -367,5 +367,7 @@ def assign_anti_affinity_groups(
         members = chosen[group_id * vms_per_group : (group_id + 1) * vms_per_group]
         groups[group_id] = [int(vm_id) for vm_id in members]
         for vm_id in members:
-            state.vms[int(vm_id)].anti_affinity_group = group_id
+            # Through the copy-on-write layer: the VM objects may be shared
+            # with copies of this state.
+            state.set_anti_affinity_group(int(vm_id), group_id)
     return groups

@@ -176,12 +176,9 @@ def best_fit_placement(state: ClusterState, vm: VirtualMachine) -> Optional[Plac
     and chooses the PM with the largest reduction").  Returns ``None`` when no
     PM can host the VM.
     """
-    was_member = vm.vm_id in state.vms
-    if not was_member:
-        state.vms[vm.vm_id] = vm
     best: Optional[Placement] = None
     best_key = None
-    try:
+    with state.probe_vm(vm):
         for pm_id in state.sorted_pm_ids():
             for numa_id in state.feasible_numas(vm.vm_id, pm_id):
                 before = state.pm_fragment(pm_id)
@@ -192,7 +189,4 @@ def best_fit_placement(state: ClusterState, vm: VirtualMachine) -> Optional[Plac
                 if best_key is None or key < best_key:
                     best_key = key
                     best = Placement(pm_id=pm_id, numa_id=numa_id)
-    finally:
-        if not was_member:
-            del state.vms[vm.vm_id]
     return best

@@ -13,6 +13,7 @@ provides the operations every algorithm in this repository relies on:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -48,6 +49,12 @@ class ClusterState:
         self.vms: Dict[int, VirtualMachine] = {vm.vm_id: vm for vm in vms}
         if len(self.vms) != len(vms):
             raise ValueError("duplicate VM ids")
+        # Copy-on-write bookkeeping: ids whose machine objects this state owns
+        # exclusively.  A fresh state owns everything; copy() shares every
+        # object between both states and empties both sets, and mutators
+        # re-own (snapshot) a machine the first time they touch it.
+        self._owned_pms: Set[int] = set(self.pms)
+        self._owned_vms: Set[int] = set(self.vms)
         self._soa: Optional[ClusterArrays] = None
         self._sorted_pm_ids: Optional[List[int]] = None
         self._sorted_vm_ids: Optional[List[int]] = None
@@ -108,6 +115,58 @@ class ClusterState:
         self._soa = None
         self._sorted_vm_ids = None
         self._sorted_pm_ids = None
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write ownership
+    # ------------------------------------------------------------------ #
+    def _own_vm(self, vm_id: int) -> VirtualMachine:
+        """Writable VM object: snapshot it first if shared with a copy."""
+        vm = self.vms[vm_id]
+        if vm_id not in self._owned_vms:
+            vm = vm.copy()
+            self.vms[vm_id] = vm
+            self._owned_vms.add(vm_id)
+        return vm
+
+    def _own_pm(self, pm_id: int) -> PhysicalMachine:
+        """Writable PM object: snapshot it first if shared with a copy."""
+        pm = self.pms[pm_id]
+        if pm_id not in self._owned_pms:
+            pm = pm.copy()
+            self.pms[pm_id] = pm
+            self._owned_pms.add(pm_id)
+        return pm
+
+    @contextmanager
+    def probe_vm(self, vm: VirtualMachine):
+        """Temporarily add ``vm`` for feasibility probing (context manager).
+
+        Placement helpers probe candidate slots by inserting a not-yet-member
+        VM, trying placements, and removing it again.  This owns the COW
+        bookkeeping in one place: the probe is marked owned (it is the
+        caller's object, never shared with a copy) and both the dict entry
+        and the ownership mark are dropped on exit.  A VM that is already a
+        member is left untouched.
+        """
+        was_member = vm.vm_id in self.vms
+        if not was_member:
+            self.vms[vm.vm_id] = vm
+            self._owned_vms.add(vm.vm_id)
+        try:
+            yield vm
+        finally:
+            if not was_member:
+                del self.vms[vm.vm_id]
+                self._owned_vms.discard(vm.vm_id)
+
+    def set_anti_affinity_group(self, vm_id: int, group: Optional[int]) -> None:
+        """Assign a VM's anti-affinity group through the copy-on-write layer.
+
+        Machine objects may be shared with copies of this state — mutate them
+        only through the state's own methods, never by writing fields on
+        objects pulled out of ``state.vms`` / ``state.pms`` directly.
+        """
+        self._own_vm(vm_id).anti_affinity_group = group
 
     def pm_list(self) -> List[PhysicalMachine]:
         return [self.pms[pm_id] for pm_id in self.sorted_pm_ids()]
@@ -219,10 +278,10 @@ class ClusterState:
     # ------------------------------------------------------------------ #
     def place_vm(self, vm_id: int, placement: Placement, honor_affinity: bool = True) -> None:
         """Place an unplaced VM on the given PM/NUMA target."""
-        vm = self.vms[vm_id]
+        vm = self._own_vm(vm_id)
         if vm.is_placed:
             raise ValueError(f"VM {vm_id} is already placed on PM {vm.pm_id}")
-        pm = self.pms[placement.pm_id]
+        pm = self._own_pm(placement.pm_id)
         if honor_affinity and placement.pm_id in self.conflicting_pm_ids(vm_id):
             raise ValueError(f"placing VM {vm_id} on PM {placement.pm_id} violates anti-affinity")
         if vm.numa_count == 2:
@@ -247,10 +306,10 @@ class ClusterState:
 
     def remove_vm(self, vm_id: int) -> Placement:
         """Remove a placed VM from its PM; returns the vacated placement."""
-        vm = self.vms[vm_id]
+        vm = self._own_vm(vm_id)
         if not vm.is_placed:
             raise ValueError(f"VM {vm_id} is not placed")
-        pm = self.pms[vm.pm_id]
+        pm = self._own_pm(vm.pm_id)
         previous = Placement(pm_id=vm.pm_id, numa_id=vm.numa_id)
         if vm.numa_id == BOTH_NUMAS:
             for numa in pm.numas:
@@ -302,6 +361,7 @@ class ClusterState:
         if vm.is_placed:
             self.remove_vm(vm_id)
         del self.vms[vm_id]
+        self._owned_vms.discard(vm_id)
         self._soa = None
         self._sorted_vm_ids = None
 
@@ -312,6 +372,7 @@ class ClusterState:
         vm.pm_id = None
         vm.numa_id = None
         self.vms[vm.vm_id] = vm
+        self._owned_vms.add(vm.vm_id)
         self._soa = None
         self._sorted_vm_ids = None
         if placement is not None:
@@ -344,16 +405,30 @@ class ClusterState:
     # Copy / serialization
     # ------------------------------------------------------------------ #
     def copy(self) -> "ClusterState":
-        """Deep copy via direct field snapshots (no dataclass init overhead).
+        """Logical deep copy with copy-on-write machine sharing.
 
-        The SoA view and the sorted-id caches are carried over to the clone —
-        search and simulation code (MCTS warm starts, plan validation) copies
-        states in hot loops, and rebuilding the arrays per copy would dominate.
+        Only the id→machine dicts and the SoA *pages* are duplicated (both
+        O(machines) but allocation-free per object); the PM/VM objects
+        themselves are shared between the two states until one of them
+        mutates a machine, at which point that state snapshots just the
+        touched object (``_own_vm`` / ``_own_pm``).  Both states therefore
+        lose exclusive ownership here.  Semantically this is still a deep
+        copy — ``plan_batch`` and eval replay copy states per request, and a
+        typical episode then touches a handful of machines per step — as
+        long as every mutation flows through the ``ClusterState`` methods
+        (``place_vm`` / ``remove_vm`` / ``migrate_vm`` / ``add_vm`` /
+        ``set_anti_affinity_group``).  Writing fields directly on a machine
+        object pulled out of the dicts bypasses the snapshot and corrupts
+        every sharer.
         """
         clone = object.__new__(ClusterState)
         clone.fragment_cores = self.fragment_cores
-        clone.pms = {pm_id: pm.copy() for pm_id, pm in self.pms.items()}
-        clone.vms = {vm_id: vm.copy() for vm_id, vm in self.vms.items()}
+        clone.pms = dict(self.pms)
+        clone.vms = dict(self.vms)
+        clone._owned_pms = set()
+        clone._owned_vms = set()
+        self._owned_pms = set()
+        self._owned_vms = set()
         soa = self._soa
         clone._soa = soa.copy() if soa is not None and soa.matches(self) else None
         clone._sorted_pm_ids = self._sorted_pm_ids

@@ -26,6 +26,7 @@ from .config import VMR2LConfig
 from .policy import TwoStagePolicy
 from .ppo import PPOTrainer, TrainingLogEntry
 from .risk_seeking import risk_seeking_evaluate, rollout_trajectory
+from .step_cache import StepCache
 
 
 class _SampledTrainEnvFactory:
@@ -230,6 +231,7 @@ class VMR2LAgent(Rescheduler):
         seed: int = 0,
         objective: Optional[Objective] = None,
         max_active: Optional[int] = None,
+        use_step_cache: bool = True,
     ) -> List[ReschedulingResult]:
         """Plan for several snapshots with micro-batched policy forwards.
 
@@ -246,6 +248,18 @@ class VMR2LAgent(Rescheduler):
         batching is *continuous*: when an episode finishes early (no movable
         VM, limit reached) a queued snapshot is admitted into the freed slot,
         keeping the stacked forward full.
+
+        ``use_step_cache`` (default on) carries a
+        :class:`~repro.core.step_cache.StepCache` across the lock-step
+        decision steps: each episode's featurization and first-block tree
+        attention re-run only for the rows/trees its last migration touched,
+        so the per-step cost scales with the change rather than the cluster.
+        Entries follow episodes through continuous admission (cache keys are
+        per-episode chains).  Caching computes the same function as a fresh
+        forward; reused tree outputs can differ from a recompute by bucket
+        re-padding drift (~1e-16 relative), so cached plans equal
+        fresh-recompute plans except at exact argmax ties at that level
+        (pinned by the step-cache parity suite).
         """
         states = list(states)
         if not states:
@@ -264,6 +278,10 @@ class VMR2LAgent(Rescheduler):
         illegal_penalty = -5.0 if self.policy.config.action_mode == "penalty" else None
         joint_mode = self.policy.config.action_mode == "full_joint"
         slots = max_active if max_active is not None else len(states)
+        # Size the cache to the admission width: every active episode keeps
+        # one live chain entry, and evicting a live chain degrades that
+        # episode to full recompute on every subsequent step.
+        step_cache = StepCache(max_chains=max(slots, 128)) if use_step_cache else None
 
         start = time.perf_counter()
         envs: List[Optional[VMRescheduleEnv]] = [None] * len(states)
@@ -314,6 +332,7 @@ class VMR2LAgent(Rescheduler):
                     greedy=greedy,
                     joint_masks=joint_masks,
                     compute_stats=False,
+                    step_cache=step_cache,
                 )
             still_running: List[int] = []
             for index, output in zip(active, outputs):

@@ -58,8 +58,12 @@ class _AttentionBlock(Module):
             self.tree_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
         self.pm_self_attention = TransformerEncoderLayer(dim, heads, hidden, config.activation, rng=rng)
         vm_dtype = np.float32 if config.float32_vm_attention else None
+        vm_chunk = (
+            config.attention_chunk_size if config.attention_impl == "chunked" else None
+        )
         self.vm_self_attention = TransformerEncoderLayer(
-            dim, heads, hidden, config.activation, rng=rng, compute_dtype=vm_dtype
+            dim, heads, hidden, config.activation, rng=rng, compute_dtype=vm_dtype,
+            chunk_size=vm_chunk,
         )
         self.cross_attention = CrossAttentionLayer(dim, heads, hidden, config.activation, rng=rng)
 
@@ -91,6 +95,19 @@ class _AttentionBlock(Module):
                 combined = self.tree_attention(combined, mask=tree_mask)
             pm_embeddings = combined[..., :num_pms, :]
             vm_embeddings = combined[..., num_pms:, :]
+        return self.interaction_stages(pm_embeddings, vm_embeddings)
+
+    def interaction_stages(
+        self, pm_embeddings: Tensor, vm_embeddings: Tensor
+    ) -> Tuple[Tensor, Tensor, np.ndarray]:
+        """Stages 2–3 of the block (PM/VM self-attention + cross-attention).
+
+        Split out so the step cache can feed patched stage-1 outputs straight
+        into the global stages (which always re-run: the dense VM↔VM stage
+        mixes every row).
+        """
+        num_pms = pm_embeddings.shape[-2]
+        num_vms = vm_embeddings.shape[-2]
         # Stage 2: PM and VM self-attention.
         pm_embeddings = self.pm_self_attention(pm_embeddings)
         if num_vms > 0:

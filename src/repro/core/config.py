@@ -34,6 +34,16 @@ class ModelConfig:
     #: ``MultiHeadAttention.compute_dtype``.  Off by default so results remain
     #: bitwise-reproducible against earlier checkpoints.
     float32_vm_attention: bool = False
+    #: Kernel of the dense VM↔VM self-attention stage: "dense" (materialized
+    #: S×S scores + softmax, the reference) or "chunked" (flash-style
+    #: streaming softmax over fixed-size key chunks with a running
+    #: max/denominator — no S×S intermediate, one fused exp pass per score;
+    #: applies to the autograd path via a recompute-based backward and to the
+    #: no-grad inference path alike).  Matches the dense kernel to ~1e-15
+    #: relative in f64 (bit-for-bit when one chunk covers all keys).
+    attention_impl: str = "dense"
+    #: Key-chunk width of the streaming kernel (ignored under "dense").
+    attention_chunk_size: int = 256
     #: Precision of the *no-grad* extractor forward (rollout collection and
     #: serving): "float64" (default — inference is bit-for-bit identical to
     #: the training forward) or "float32" (the whole inference attention
@@ -52,6 +62,10 @@ class ModelConfig:
             raise ValueError(f"unknown action_mode {self.action_mode!r}")
         if self.inference_dtype not in ("float64", "float32"):
             raise ValueError(f"unknown inference_dtype {self.inference_dtype!r}")
+        if self.attention_impl not in ("dense", "chunked"):
+            raise ValueError(f"unknown attention_impl {self.attention_impl!r}")
+        if self.attention_chunk_size <= 0:
+            raise ValueError("attention_chunk_size must be positive")
         if self.num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
 

@@ -127,6 +127,80 @@ def build_feature_batch(observation: Observation) -> FeatureBatch:
     )
 
 
+def patch_feature_batch(
+    previous: Optional[FeatureBatch], observation: Observation
+) -> FeatureBatch:
+    """Single-observation FeatureBatch reusing the previous step's structure.
+
+    Feature tensors are always fresh copies of the observation's arrays (they
+    are cheap, and callers may keep the previous batch alive), but the
+    tree-side structure — membership matrix, per-tree layouts, grouping and
+    the lazy dense mask — is carried over from ``previous`` when the
+    observation's delta proves the host assignment did not change, and
+    *patched per moved VM* (two trees edited, grouping re-bucketed) when it
+    did.  Falls back to :func:`build_feature_batch` whenever the delta chain
+    cannot vouch for ``previous`` (episode start, shape change, unplaced
+    endpoints).  The result is exactly what ``build_feature_batch`` would
+    produce — pinned by the step-cache parity tests.
+    """
+    delta = observation.delta
+    if (
+        previous is None
+        or delta is None
+        or delta.step_index == 0  # chain start: no previous step to patch from
+        or previous.batch_size is not None
+        or previous.num_pms != observation.num_pms
+        or previous.num_vms != observation.num_vms
+    ):
+        return build_feature_batch(observation)
+    if delta.moved_vm_rows.size == 0:
+        membership = previous.membership
+        layouts = previous._tree_layouts
+        grouping = previous._tree_grouping
+        dense_mask = previous._dense_tree_mask
+    else:
+        num_pms = observation.num_pms
+        old_hosts = np.where(
+            previous.membership[delta.moved_vm_rows].any(axis=1),
+            np.argmax(previous.membership[delta.moved_vm_rows], axis=1),
+            -1,
+        )
+        new_hosts = observation.vm_source_pm[delta.moved_vm_rows]
+        if (old_hosts < 0).any() or (new_hosts < 0).any():
+            # Placement appeared/disappeared (not a plain migration): the
+            # singleton-tree tail would change shape — rebuild.
+            return build_feature_batch(observation)
+        membership = previous.membership.copy()
+        membership[delta.moved_vm_rows] = False
+        membership[delta.moved_vm_rows, new_hosts] = True
+        layouts = previous._tree_layouts
+        if layouts is not None:
+            tree_list = list(layouts[0])
+            for vm_row, old_host, new_host in zip(
+                delta.moved_vm_rows, old_hosts, new_hosts
+            ):
+                position = int(num_pms + vm_row)
+                source = tree_list[old_host]
+                tree_list[old_host] = source[source != position]
+                dest = tree_list[new_host]
+                insert_at = int(np.searchsorted(dest[1:], position)) + 1
+                tree_list[new_host] = np.insert(dest, insert_at, position)
+            layouts = [tree_list]
+        grouping = None  # members changed: re-bucket lazily from the layouts
+        dense_mask = None
+    return FeatureBatch(
+        pm_features=Tensor(observation.pm_features.copy()),
+        vm_features=Tensor(observation.vm_features.copy()),
+        membership=membership,
+        vm_mask=observation.vm_mask.copy(),
+        num_pms=observation.num_pms,
+        num_vms=observation.num_vms,
+        _dense_tree_mask=dense_mask,
+        _tree_grouping=grouping,
+        _tree_layouts=layouts,
+    )
+
+
 def build_stacked_feature_batch(observations: Sequence[Observation]) -> FeatureBatch:
     """Stack same-size observations into one batched FeatureBatch.
 

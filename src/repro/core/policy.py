@@ -36,6 +36,7 @@ from .features import (
     build_stacked_feature_batch,
     stack_feature_batches,
 )
+from .step_cache import StepCache
 
 
 @dataclass
@@ -153,6 +154,7 @@ class TwoStagePolicy(Module):
         vm_threshold_quantile: Optional[float] = None,
         pm_threshold_quantile: Optional[float] = None,
         compute_stats: bool = True,
+        step_cache: Optional[StepCache] = None,
     ) -> PolicyOutput:
         """Select a (VM, PM) action for ``observation``.
 
@@ -161,10 +163,15 @@ class TwoStagePolicy(Module):
         mode.  ``joint_mask`` is required in ``full_joint`` mode.
         ``compute_stats=False`` skips the entropy terms (reported as 0.0) —
         the sampled action and probabilities are unchanged; serving rollouts
-        use it since only PPO consumes the entropy.
+        use it since only PPO consumes the entropy.  ``step_cache`` enables
+        step-incremental featurization/encoding for consecutive no-grad steps
+        of one episode (ignored outside the inference fast path).
         """
-        batch = build_feature_batch(observation)
-        extractor_output = self.extractor(batch)
+        if step_cache is not None and step_cache.usable(self.extractor):
+            batch, extractor_output = step_cache.forward(self.extractor, observation)
+        else:
+            batch = build_feature_batch(observation)
+            extractor_output = self.extractor(batch)
         value = float(self.value_head(extractor_output).item())
 
         if self.config.action_mode == "full_joint":
@@ -212,6 +219,8 @@ class TwoStagePolicy(Module):
         pm_threshold_quantile: Optional[float] = None,
         compute_stats: bool = True,
         pm_masks_fn: Optional[Callable[[Sequence[int]], np.ndarray]] = None,
+        pm_masks_begin_fn: Optional[Callable[[Sequence[int]], Callable[[], np.ndarray]]] = None,
+        step_cache: Optional[StepCache] = None,
     ) -> List[PolicyOutput]:
         """Act on several observations with ONE extractor forward pass.
 
@@ -229,6 +238,12 @@ class TwoStagePolicy(Module):
         ``vm_indices`` to stacked ``(batch, num_pms)`` masks — a vector env's
         ``pm_action_masks``, a single exchange on the multi-process backend).
         When both are given the batched one serves the stacked hot path.
+        ``pm_masks_begin_fn`` is the two-phase variant (a vector env's
+        ``pm_action_masks_begin``): the request is issued *before* the
+        stage-2 decoder forward and collected after it, overlapping the
+        workers' mask construction with the decoder GEMMs; it takes
+        precedence over ``pm_masks_fn`` on the stacked path.  ``step_cache``
+        enables step-incremental featurization/encoding (no-grad only).
         """
         if rng is None:
             raise ValueError("act_batch requires an rng")
@@ -237,6 +252,7 @@ class TwoStagePolicy(Module):
         if (
             pm_mask_fns is None
             and pm_masks_fn is None
+            and pm_masks_begin_fn is None
             and self.config.action_mode == "two_stage"
         ):
             raise ValueError("two_stage mode needs pm_mask_fns or pm_masks_fn")
@@ -262,14 +278,20 @@ class TwoStagePolicy(Module):
                     vm_threshold_quantile=vm_threshold_quantile,
                     pm_threshold_quantile=pm_threshold_quantile,
                     compute_stats=compute_stats,
+                    step_cache=step_cache,
                 )
                 for observation, pm_mask_fn, joint_mask in zip(
                     observations, pm_mask_fns, joint_masks
                 )
             ]
 
-        batch = build_stacked_feature_batch(observations)
-        extractor_output = self.extractor(batch)
+        if step_cache is not None and step_cache.usable(self.extractor):
+            batch, extractor_output = step_cache.forward_batch(
+                self.extractor, observations
+            )
+        else:
+            batch = build_stacked_feature_batch(observations)
+            extractor_output = self.extractor(batch)
         num_envs = len(observations)
 
         # Critic: ValueHead handles the leading batch axis itself.
@@ -310,9 +332,33 @@ class TwoStagePolicy(Module):
         # Stage 2: the PM decoder runs batched inside PMActor — each row's PMs
         # cross-attend to that row's selected VM embedding, and the stage-3
         # score bias is gathered per row.  Sampling is vectorized like stage 1.
-        pm_logit_rows = self.pm_actor.forward_batch(extractor_output, vm_indices)
+        # With a two-phase mask source the batched stage-2 exchange is issued
+        # BEFORE the decoder forward (async workers build masks while the
+        # parent runs the decoder GEMMs) and collected after it.
+        mask_fetch = None
+        if use_masks and pm_masks_begin_fn is not None:
+            mask_fetch = pm_masks_begin_fn(vm_indices)
+        try:
+            pm_logit_rows = self.pm_actor.forward_batch(extractor_output, vm_indices)
+        except BaseException:
+            # The mask exchange is in flight; drain it before propagating so
+            # the (lock-step) async pipes stay synchronized for a driver that
+            # catches the error and keeps using the vector env.
+            if mask_fetch is not None:
+                try:
+                    mask_fetch()
+                except Exception:
+                    pass
+            raise
         if not use_masks:
             pm_mask_rows = None
+        elif mask_fetch is not None:
+            pm_mask_rows = np.asarray(mask_fetch(), dtype=bool)
+            if pm_mask_rows.shape[0] != num_envs:
+                raise ValueError(
+                    f"pm_masks_begin_fn returned {pm_mask_rows.shape[0]} rows "
+                    f"for {num_envs} observations"
+                )
         elif pm_masks_fn is not None:
             pm_mask_rows = np.asarray(pm_masks_fn(vm_indices), dtype=bool)
             if pm_mask_rows.shape[0] != num_envs:

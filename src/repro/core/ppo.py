@@ -190,6 +190,10 @@ class PPOTrainer:
                     joint_masks=joint_masks,
                     compute_stats=not inference,
                     pm_masks_fn=venv.pm_action_masks,
+                    # Two-phase stage-2 exchange: the mask request is issued
+                    # before the decoder forward and collected after it, so
+                    # async workers build masks while the parent runs GEMMs.
+                    pm_masks_begin_fn=venv.pm_action_masks_begin,
                 )
             actions = [output.action for output in outputs]
             next_observations, rewards, dones, _ = venv.step(actions)

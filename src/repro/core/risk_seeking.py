@@ -21,6 +21,7 @@ from ..env.vmr_env import VMRescheduleEnv
 from ..nn import no_grad
 from .config import RiskSeekingConfig
 from .policy import TwoStagePolicy
+from .step_cache import StepCache
 
 
 @dataclass
@@ -58,8 +59,16 @@ def rollout_trajectory(
     greedy: bool = False,
     vm_quantile: Optional[float] = None,
     pm_quantile: Optional[float] = None,
+    step_cache: Optional["StepCache"] = None,
 ) -> TrajectoryResult:
-    """Sample one complete migration trajectory from the policy."""
+    """Sample one complete migration trajectory from the policy.
+
+    ``step_cache`` (a :class:`~repro.core.step_cache.StepCache`) makes the
+    per-step featurize/encode incremental across the trajectory's steps;
+    results are exact w.r.t. the uncached path (cached plans equal
+    fresh-recompute plans).  Left off by default so training-time evaluation
+    stays bitwise identical to earlier releases.
+    """
     config = constraint_config or ConstraintConfig(migration_limit=migration_limit)
     if config.migration_limit != migration_limit:
         config = ConstraintConfig(
@@ -90,6 +99,7 @@ def rollout_trajectory(
                 joint_mask=joint_mask,
                 vm_threshold_quantile=vm_quantile,
                 pm_threshold_quantile=pm_quantile,
+                step_cache=step_cache,
             )
         observation, reward, done, _ = env.step(output.action)
         total_reward += reward

@@ -1,0 +1,386 @@
+"""Step-incremental encoder cache for greedy/serving rollouts.
+
+A greedy plan rollout changes one VM and two PMs per step, yet the seed
+inference path re-featurized and re-encoded the *entire* cluster every step.
+:class:`StepCache` carries the step-local parts of the extractor forward
+between consecutive steps of ``act`` / ``act_batch`` / ``plan_batch``:
+
+* the input embeddings (``pm_embed`` / ``vm_embed`` MLP rows — per-row pure,
+  so only rows whose normalized features changed recompute), and
+* the **first block's tree-local attention stage** — tree-local attention
+  mixes only the members of one PM tree, so only *dirty trees* (trees
+  containing a changed row, or whose membership changed) re-run, gathered
+  into padded buckets exactly like
+  :class:`~repro.core.features.TreeGrouping`.
+
+Everything downstream — the PM/VM self-attention and cross-attention stages
+of every block (the dense VM↔VM stage mixes all rows), the tree stages of
+blocks past the first (their inputs are all-dirty by then), the final norms
+and the actor/critic heads — always re-runs.
+
+Validity and exactness
+----------------------
+Cache entries are keyed on the :class:`~repro.env.observation.ObservationDelta`
+chain: the observation builder starts a fresh chain on every full rebuild and
+bumps ``step_index`` per incremental build, so an entry is consulted only when
+it holds exactly the previous step of the same episode.  Changed rows come
+from *exact comparison* of normalized feature matrices (never inferred), so a
+cached forward computes the same function as a fresh one; clean-tree outputs
+are reused from the previous step, where they were computed from bitwise-equal
+inputs (bucket re-padding after a move can shift results by ~1e-16 relative —
+the step-cache parity suite pins embeddings to 1e-10 and plans to equality).
+The cache is inference-only: :meth:`usable` refuses gradient-tracking and
+reference-mode forwards, and entries never alias tensors a training graph
+could retain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..env.observation import Observation
+from ..nn import Tensor, grad_enabled, reference_mode_active
+from .attention import ExtractorOutput, SparseAttentionExtractor
+from .features import (
+    FeatureBatch,
+    _pad_bucket,
+    patch_feature_batch,
+    stack_feature_batches,
+)
+
+
+@dataclass
+class _ChainEntry:
+    """Per-episode-chain state carried between consecutive steps."""
+
+    step_index: int
+    feature_batch: FeatureBatch
+    #: Input embeddings (pm_embed / vm_embed outputs), patched in place.
+    h_pm: np.ndarray
+    h_vm: np.ndarray
+    #: Block-0 tree-stage output over the combined [PMs..., VMs...] sequence
+    #: (``None`` when the extractor has no tree stage or the row has no VMs).
+    stage1: Optional[np.ndarray]
+
+
+def _run_tree_layer_subset(
+    layer,
+    flat: np.ndarray,
+    out: np.ndarray,
+    groups: Sequence[np.ndarray],
+    padded_sizes: Sequence[int],
+) -> None:
+    """Run the tree-attention layer over a subset of trees, scattering into ``out``.
+
+    ``groups`` are flat sequence positions per tree; each tree is padded to
+    the smallest of ``padded_sizes`` (the full grouping's bucket widths) that
+    fits, so per-tree GEMM shapes match what the full grouped pass uses and
+    recomputed trees stay numerically aligned with untouched ones.
+    """
+    by_size: Dict[int, List[np.ndarray]] = {}
+    for group in groups:
+        size = next((s for s in padded_sizes if s >= group.size), group.size)
+        by_size.setdefault(int(size), []).append(group)
+    for size, members in by_size.items():
+        bucket = _pad_bucket(members, size)
+        grouped = flat[bucket.members.reshape(-1)].reshape(
+            len(members), size, flat.shape[-1]
+        )
+        result = layer(Tensor(grouped), mask=bucket.attention_mask).data
+        valid = bucket.valid
+        out[bucket.members[valid]] = result[valid]
+
+
+class StepCache:
+    """Carries featurization + first-block encoder state across decision steps.
+
+    One instance serves one rollout driver (a ``plan_batch`` call, an
+    evaluation loop); entries for many concurrent episodes coexist, keyed by
+    their observation chain.  All methods must run under ``repro.nn.no_grad``
+    — gate call sites on :meth:`usable`.
+    """
+
+    def __init__(self, max_chains: int = 128) -> None:
+        self.max_chains = max_chains
+        self._entries: Dict[int, _ChainEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def usable(self, extractor) -> bool:
+        """Whether cached encoding applies: attention extractor, no-grad,
+        not the seed reference substrate."""
+        return (
+            isinstance(extractor, SparseAttentionExtractor)
+            and not grad_enabled()
+            and not reference_mode_active()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single observation (``act`` / sequential rollouts)
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, extractor: SparseAttentionExtractor, observation: Observation
+    ) -> Tuple[FeatureBatch, ExtractorOutput]:
+        """Cached equivalent of ``extractor(build_feature_batch(observation))``."""
+        dtype = self._dtype(extractor)
+        entry = self._lookup(observation, dtype)
+        batch = patch_feature_batch(
+            entry.feature_batch if entry is not None else None, observation
+        )
+        num_pms, num_vms = batch.num_pms, batch.num_vms
+        pm_x, vm_x = self._inputs(extractor, batch, dtype)
+        delta = observation.delta
+
+        if entry is not None:
+            self.hits += 1
+            h_pm, h_vm = entry.h_pm, entry.h_vm  # cache-private: patch in place
+            if delta.changed_pm_rows.size:
+                h_pm[delta.changed_pm_rows] = extractor.pm_embed.network.forward_array(
+                    pm_x[delta.changed_pm_rows]
+                )
+            if delta.changed_vm_rows.size:
+                h_vm[delta.changed_vm_rows] = extractor.vm_embed.network.forward_array(
+                    vm_x[delta.changed_vm_rows]
+                )
+        else:
+            self.misses += 1
+            h_pm = extractor.pm_embed.network.forward_array(pm_x)
+            h_vm = extractor.vm_embed.network.forward_array(vm_x)
+
+        grouping = (
+            batch.tree_grouping()
+            if extractor.use_tree_attention and num_vms
+            else None
+        )
+        if grouping is None:
+            stage1 = None
+            pm1, vm1 = h_pm, h_vm
+        else:
+            layer = extractor.blocks[0].tree_attention
+            flat = np.concatenate([h_pm, h_vm], axis=0)
+            padded_sizes = sorted(
+                {bucket.members.shape[1] for bucket in grouping.buckets}
+            )
+            if entry is not None and entry.stage1 is not None and (
+                entry.stage1.shape == flat.shape
+            ):
+                stage1 = entry.stage1
+                groups = self._dirty_tree_groups(batch, observation)
+            else:
+                stage1 = np.empty_like(flat)
+                groups = batch.tree_layout()
+            _run_tree_layer_subset(layer, flat, stage1, groups, padded_sizes)
+            pm1, vm1 = stage1[:num_pms], stage1[num_pms:]
+
+        output = self._interaction_stages(extractor, pm1, vm1, grouping)
+        if delta is not None:
+            self._store(
+                delta.chain_id,
+                _ChainEntry(
+                    step_index=delta.step_index,
+                    feature_batch=batch,
+                    h_pm=h_pm,
+                    h_vm=h_vm,
+                    stage1=stage1,
+                ),
+            )
+        return batch, output
+
+    # ------------------------------------------------------------------ #
+    # Stacked batch (``act_batch`` / ``plan_batch`` micro-batching)
+    # ------------------------------------------------------------------ #
+    def forward_batch(
+        self,
+        extractor: SparseAttentionExtractor,
+        observations: Sequence[Observation],
+    ) -> Tuple[FeatureBatch, ExtractorOutput]:
+        """Cached equivalent of the stacked extractor forward.
+
+        Per row: a chain hit patches that row's embeddings/tree outputs; a
+        miss (fresh episode admitted into the batch, stale chain) computes
+        the row from scratch.  All rows' dirty trees run in ONE bucketed
+        tree-layer pass, and the global stages run stacked as usual.
+        """
+        dtype = self._dtype(extractor)
+        entries = [self._lookup(obs, dtype) for obs in observations]
+        batches = [
+            patch_feature_batch(
+                entry.feature_batch if entry is not None else None, obs
+            )
+            for entry, obs in zip(entries, observations)
+        ]
+        stacked = stack_feature_batches(batches)
+        num_pms, num_vms = stacked.num_pms, stacked.num_vms
+        seq = num_pms + num_vms
+        dim = extractor.config.embed_dim
+        count = len(observations)
+
+        h = np.empty((count, seq, dim), dtype=dtype)
+        for row, (obs, entry, batch) in enumerate(zip(observations, entries, batches)):
+            pm_x, vm_x = self._inputs(extractor, batch, dtype)
+            if entry is not None:
+                self.hits += 1
+                h[row, :num_pms] = entry.h_pm
+                h[row, num_pms:] = entry.h_vm
+                delta = obs.delta
+                if delta.changed_pm_rows.size:
+                    h[row, delta.changed_pm_rows] = (
+                        extractor.pm_embed.network.forward_array(
+                            pm_x[delta.changed_pm_rows]
+                        )
+                    )
+                if delta.changed_vm_rows.size:
+                    h[row, num_pms + delta.changed_vm_rows] = (
+                        extractor.vm_embed.network.forward_array(
+                            vm_x[delta.changed_vm_rows]
+                        )
+                    )
+            else:
+                self.misses += 1
+                h[row, :num_pms] = extractor.pm_embed.network.forward_array(pm_x)
+                h[row, num_pms:] = extractor.vm_embed.network.forward_array(vm_x)
+
+        grouping = (
+            stacked.tree_grouping()
+            if extractor.use_tree_attention and num_vms
+            else None
+        )
+        if grouping is None:
+            stage1_rows = None
+            pm1, vm1 = h[:, :num_pms], h[:, num_pms:]
+        else:
+            layer = extractor.blocks[0].tree_attention
+            flat = h.reshape(count * seq, dim)
+            stage1 = np.empty_like(flat)
+            padded_sizes = sorted(
+                {bucket.members.shape[1] for bucket in grouping.buckets}
+            )
+            groups: List[np.ndarray] = []
+            for row, (obs, entry, batch) in enumerate(
+                zip(observations, entries, batches)
+            ):
+                offset = row * seq
+                if entry is not None and entry.stage1 is not None and (
+                    entry.stage1.shape == (seq, dim)
+                ):
+                    stage1[offset : offset + seq] = entry.stage1
+                    row_groups = self._dirty_tree_groups(batch, obs)
+                else:
+                    row_groups = batch.tree_layout()
+                groups.extend(group + offset for group in row_groups)
+            _run_tree_layer_subset(layer, flat, stage1, groups, padded_sizes)
+            stage1_rows = stage1.reshape(count, seq, dim)
+            pm1, vm1 = stage1_rows[:, :num_pms], stage1_rows[:, num_pms:]
+
+        output = self._interaction_stages(extractor, pm1, vm1, grouping)
+        for row, obs in enumerate(observations):
+            if obs.delta is None:
+                continue
+            self._store(
+                obs.delta.chain_id,
+                _ChainEntry(
+                    step_index=obs.delta.step_index,
+                    feature_batch=batches[row],
+                    # Disjoint row views of this step's arrays: safe to keep
+                    # (and to patch in place next step) without copying.
+                    h_pm=h[row, :num_pms],
+                    h_vm=h[row, num_pms:],
+                    stage1=None if stage1_rows is None else stage1_rows[row],
+                ),
+            )
+        return stacked, output
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _dtype(extractor) -> np.dtype:
+        return np.dtype(
+            np.float32
+            if extractor.config.inference_dtype == "float32"
+            else np.float64
+        )
+
+    def _lookup(self, observation: Observation, dtype) -> Optional[_ChainEntry]:
+        delta = observation.delta
+        if delta is None:
+            return None
+        entry = self._entries.get(delta.chain_id)
+        if entry is None:
+            return None
+        if (
+            entry.step_index != delta.step_index - 1
+            or entry.h_pm.shape[0] != observation.num_pms
+            or entry.h_vm.shape[0] != observation.num_vms
+            or entry.h_pm.dtype != dtype
+        ):
+            return None
+        return entry
+
+    @staticmethod
+    def _inputs(extractor, batch: FeatureBatch, dtype) -> Tuple[np.ndarray, np.ndarray]:
+        pm_x = batch.pm_features.data
+        vm_x = batch.vm_features.data
+        if dtype == np.float32:
+            pm_x = pm_x.astype(np.float32)
+            vm_x = vm_x.astype(np.float32)
+        return pm_x, vm_x
+
+    @staticmethod
+    def _dirty_tree_groups(batch: FeatureBatch, observation: Observation) -> List[np.ndarray]:
+        """Trees whose stage-1 output must re-run for this step.
+
+        A tree is dirty when any member row's embedding changed or its
+        membership changed: PM trees are indexed by PM row (the layout lists
+        them first), placed VMs dirty their host's tree, unplaced VMs their
+        singleton tree.  ``moved_pm_rows`` covers both endpoints of every
+        migration even when feature values happen to be unchanged.
+        """
+        delta = observation.delta
+        num_pms = observation.num_pms
+        layout = batch.tree_layout()
+        vm_source = observation.vm_source_pm
+        dirty_pm_trees = set(delta.changed_pm_rows.tolist())
+        dirty_pm_trees.update(delta.moved_pm_rows.tolist())
+        singles: List[np.ndarray] = []
+        for vm_row in np.union1d(delta.changed_vm_rows, delta.moved_vm_rows):
+            host = int(vm_source[vm_row])
+            if host >= 0:
+                dirty_pm_trees.add(host)
+            else:
+                singles.append(np.array([num_pms + int(vm_row)]))
+        groups = [layout[pm_row] for pm_row in sorted(dirty_pm_trees)]
+        groups.extend(singles)
+        return groups
+
+    @staticmethod
+    def _interaction_stages(
+        extractor, pm1: np.ndarray, vm1: np.ndarray, grouping
+    ) -> ExtractorOutput:
+        """Global stages: block-0 stages 2–3, full later blocks, final norms."""
+        blocks = extractor.blocks
+        pm_t, vm_t = Tensor(pm1), Tensor(vm1)
+        pm_t, vm_t, scores = blocks[0].interaction_stages(pm_t, vm_t)
+        for block in blocks[1:]:
+            pm_t, vm_t, scores = block(pm_t, vm_t, None, grouping)
+        num_vms = vm1.shape[-2]
+        return ExtractorOutput(
+            vm_embeddings=extractor.final_norm_vm(vm_t) if num_vms else vm_t,
+            pm_embeddings=extractor.final_norm_pm(pm_t),
+            vm_pm_scores=scores,
+        )
+
+    def _store(self, chain_id: int, entry: _ChainEntry) -> None:
+        entries = self._entries
+        entries.pop(chain_id, None)  # move-to-end: keep live chains resident
+        entries[chain_id] = entry
+        if len(entries) > self.max_chains:
+            for key in list(entries.keys())[: len(entries) - self.max_chains]:
+                del entries[key]
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "chains": len(self._entries)}

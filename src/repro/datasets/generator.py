@@ -241,17 +241,11 @@ class SnapshotGenerator:
         if rng.random() < self.spec.best_fit_fraction:
             return best_fit_placement(state, vm)
         # Random fit: pick a random feasible (PM, NUMA) pair.
-        was_member = vm.vm_id in state.vms
-        if not was_member:
-            state.vms[vm.vm_id] = vm
-        try:
+        with state.probe_vm(vm):
             candidates: List[Placement] = []
             for pm_id in state.pms:
                 for numa_id in state.feasible_numas(vm.vm_id, pm_id):
                     candidates.append(Placement(pm_id=pm_id, numa_id=numa_id))
-        finally:
-            if not was_member:
-                del state.vms[vm.vm_id]
         if not candidates:
             return None
         return candidates[rng.integers(len(candidates))]

@@ -271,14 +271,28 @@ class AsyncVectorEnv(VectorEnv):
         return observations, rewards, dones, infos
 
     def pm_action_masks(self, vm_indices: Sequence[int]) -> np.ndarray:
+        return self.pm_action_masks_begin(vm_indices)()
+
+    def pm_action_masks_begin(self, vm_indices: Sequence[int]):
+        """Issue the batched stage-2 mask exchange without blocking on it.
+
+        The request goes out to every worker immediately; the returned
+        ``fetch`` drains the replies and reads the shared-memory mask pages.
+        The caller owns the exchange until ``fetch`` returns — no other
+        command may be sent in between (the pipes are lock-step).
+        """
         if len(vm_indices) != self.num_envs:
             raise ValueError(
                 f"expected {self.num_envs} vm indices, got {len(vm_indices)}"
             )
         for pipe, shard in zip(self._pipes, self._shards):
             pipe.send(("pm_mask", [int(vm_indices[index]) for index in shard]))
-        self._drain()
-        return self._buffers.read_pm_masks()
+
+        def fetch() -> np.ndarray:
+            self._drain()
+            return self._buffers.read_pm_masks()
+
+        return fetch
 
     def pm_action_mask(self, index: int, vm_index: int) -> np.ndarray:
         if not 0 <= index < self.num_envs:

@@ -57,6 +57,21 @@ class VectorEnv:
         backend instead of an RPC per environment."""
         raise NotImplementedError
 
+    def pm_action_masks_begin(self, vm_indices: Sequence[int]):
+        """Two-phase :meth:`pm_action_masks`: issue the exchange now, collect later.
+
+        Returns a zero-argument ``fetch`` callable resolving to the stacked
+        ``(num_envs, num_pms)`` masks.  ``act_batch`` calls this *before* the
+        stage-2 decoder forward and fetches after it, so a multi-process
+        backend computes masks concurrently with the decoder GEMMs.  Between
+        ``begin`` and ``fetch`` no other exchange may be started (the async
+        backend's pipes are lock-step).  This default defers to the blocking
+        call at fetch time — correct for in-process backends, which have
+        nothing to overlap.
+        """
+        indices = list(vm_indices)
+        return lambda: self.pm_action_masks(indices)
+
     def pm_action_mask(self, index: int, vm_index: int) -> np.ndarray:
         """Stage-2 mask of a single environment (sequential fallbacks)."""
         raise NotImplementedError

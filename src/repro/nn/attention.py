@@ -100,6 +100,210 @@ def _attention_softmax(scores: Tensor, mask: Optional[AttentionMask], batched: b
     return Tensor(out_data, requires_grad=True, parents=(scores,), backward=backward)
 
 
+def _broadcast_mask_parts(
+    mask: Optional[AttentionMask], dtype, batched: bool
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Additive bias and dead-row indicator shaped for the score tensor.
+
+    Returns ``(bias, allowed)`` where ``bias`` broadcasts against
+    ``(…, heads, q_len, k_len)`` scores and ``allowed`` (or ``None``) against
+    ``(…, heads, q_len, 1)`` — the exact shapes the dense softmax uses, shared
+    here so the chunked kernel applies masks identically.
+    """
+    if mask is None:
+        return None, None
+    bias = mask.bias
+    if bias.dtype != dtype:
+        bias = bias.astype(dtype)
+    if batched and bias.ndim == 3:
+        bias = bias[:, None, :, :]
+    allowed = mask.dead_rows
+    if allowed is not None:
+        if not batched:
+            allowed = allowed[None, :, None]
+        elif allowed.ndim == 1:
+            allowed = allowed[None, None, :, None]
+        else:
+            allowed = allowed[:, None, :, None]
+    return bias, allowed
+
+
+def _chunked_attention_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    bias: Optional[np.ndarray],
+    chunk: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Streaming-softmax attention forward (flash-style, no ``S×S`` scores).
+
+    Consumes fixed-size key chunks while carrying a running row maximum and
+    denominator, so the peak score temporary is ``(…, q_len, chunk)`` instead
+    of ``(…, q_len, k_len)`` and the softmax ``exp`` runs once per score as
+    part of one fused pass per chunk.  ``q`` is pre-scaled (the layer folds
+    ``1/sqrt(head_dim)`` into the query projection).  Returns ``(context,
+    logsumexp)`` — the logsumexp row statistics let the backward recompute the
+    exact attention probabilities chunk by chunk without saving them.
+
+    When one chunk covers every key, the dense operation order (normalize the
+    probabilities, then multiply by ``v``) is replayed exactly, so the result
+    is bit-for-bit identical to the dense kernel; with several chunks the
+    running rescale accumulates in a different order and matches the dense
+    reference to ~1e-15 relative (f64).
+    """
+    k_len = k.shape[-2]
+    chunk = max(int(chunk), 1)
+    kt = np.swapaxes(k, -1, -2)
+    if chunk >= k_len:
+        scores = np.matmul(q, kt)
+        if bias is not None:
+            scores += bias
+        row_max = scores.max(axis=-1, keepdims=True)
+        scores -= row_max
+        np.exp(scores, out=scores)
+        total = scores.sum(axis=-1, keepdims=True)
+        scores /= total
+        context = np.matmul(scores, v)
+        logsumexp = np.squeeze(row_max, -1) + np.log(np.squeeze(total, -1))
+        return context, logsumexp
+    out_shape = np.broadcast_shapes(q.shape[:-2], k.shape[:-2]) + (
+        q.shape[-2],
+        v.shape[-1],
+    )
+    context = np.zeros(out_shape, dtype=q.dtype)
+    row_max = np.full(out_shape[:-1], -np.inf, dtype=q.dtype)
+    denom = np.zeros(out_shape[:-1], dtype=q.dtype)
+    # Reused chunk-size buffers: per-iteration matmuls write into these, so
+    # the loop allocates nothing proportional to the full key length.
+    score_buf = np.empty(out_shape[:-1] + (chunk,), dtype=q.dtype)
+    ctx_buf = np.empty(out_shape, dtype=q.dtype)
+    sum_buf = np.empty(out_shape[:-1], dtype=q.dtype)
+    for start in range(0, k_len, chunk):
+        stop = min(start + chunk, k_len)
+        whole = stop - start == chunk
+        scores = np.matmul(
+            q, kt[..., :, start:stop], out=score_buf if whole else None
+        )
+        if bias is not None:
+            scores += bias[..., start:stop]
+        new_max = np.maximum(row_max, scores.max(axis=-1))
+        scores -= new_max[..., None]
+        np.exp(scores, out=scores)
+        if start and not np.array_equal(new_max, row_max):
+            # Rescale the running sums; when the maximum did not move the
+            # factor is exp(0) == 1 exactly, so skipping is a bitwise no-op.
+            alpha = np.subtract(row_max, new_max, out=row_max)
+            np.exp(alpha, out=alpha)
+            denom *= alpha
+            context *= alpha[..., None]
+        denom += scores.sum(axis=-1, out=sum_buf)
+        context += np.matmul(
+            scores, v[..., start:stop, :], out=ctx_buf if whole else None
+        )
+        row_max = new_max
+    context /= denom[..., None]
+    return context, row_max + np.log(denom)
+
+
+def _chunked_attention_backward(
+    grad: np.ndarray,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    bias: Optional[np.ndarray],
+    logsumexp: np.ndarray,
+    context: np.ndarray,
+    chunk: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recompute-based backward of :func:`_chunked_attention_forward`.
+
+    Never materializes the ``S×S`` probabilities: each key chunk recomputes
+    its exact probabilities from the saved logsumexp
+    (``p = exp(q·kᵀ + bias − L)``) and applies the softmax gradient
+    ``ds = p · (dp − Σ p·dp)`` locally.  ``Σ_j p_ij · dp_ij`` equals
+    ``Σ_d grad_id · context_id`` (the usual flash-attention identity), so the
+    row reduction is computed once up front from saved ``O(S·d)`` tensors.
+    """
+    chunk = max(int(chunk), 1)
+    k_len = k.shape[-2]
+    kt = np.swapaxes(k, -1, -2)
+    row_dot = np.einsum("...i,...i->...", grad, context)[..., None]
+    grad_q = np.zeros(np.broadcast_shapes(q.shape[:-2], k.shape[:-2]) + q.shape[-2:], dtype=q.dtype)
+    grad_k = np.zeros(np.broadcast_shapes(q.shape[:-2], k.shape[:-2]) + k.shape[-2:], dtype=k.dtype)
+    grad_v = np.zeros(np.broadcast_shapes(q.shape[:-2], v.shape[:-2]) + v.shape[-2:], dtype=v.dtype)
+    for start in range(0, k_len, chunk):
+        stop = min(start + chunk, k_len)
+        probs = np.matmul(q, kt[..., :, start:stop])
+        if bias is not None:
+            probs += bias[..., start:stop]
+        probs -= logsumexp[..., None]
+        np.exp(probs, out=probs)
+        grad_v[..., start:stop, :] = np.matmul(np.swapaxes(probs, -1, -2), grad)
+        grad_scores = np.matmul(grad, np.swapaxes(v[..., start:stop, :], -1, -2))
+        grad_scores -= row_dot
+        grad_scores *= probs
+        grad_q += np.matmul(grad_scores, k[..., start:stop, :])
+        grad_k[..., start:stop, :] = np.matmul(np.swapaxes(grad_scores, -1, -2), q)
+    return grad_q, grad_k, grad_v
+
+
+def _chunked_attention_array(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: Optional[AttentionMask],
+    batched: bool,
+    chunk: int,
+) -> np.ndarray:
+    """No-grad chunked attention: context directly, masks handled like dense."""
+    bias, allowed = _broadcast_mask_parts(mask, q.dtype, batched)
+    context, _ = _chunked_attention_forward(q, k, v, bias, chunk)
+    if allowed is not None:
+        context *= allowed
+    return context
+
+
+def _chunked_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    mask: Optional[AttentionMask],
+    batched: bool,
+    chunk: int,
+) -> Tensor:
+    """Autograd twin of :func:`_chunked_attention_array` as ONE graph node.
+
+    The forward saves only the context and per-row logsumexp; the backward
+    recomputes probabilities chunk by chunk (see
+    :func:`_chunked_attention_backward`).  Fully-masked query rows output an
+    exact zero context and contribute exactly zero gradient (their incoming
+    gradient is zeroed before the recompute, mirroring the dense kernel where
+    those rows' weights are exactly zero).
+    """
+    bias, allowed = _broadcast_mask_parts(mask, q.data.dtype, batched)
+    context, logsumexp = _chunked_attention_forward(q.data, k.data, v.data, bias, chunk)
+    if allowed is not None:
+        context *= allowed
+    requires = grad_enabled() and (q.requires_grad or k.requires_grad or v.requires_grad)
+    if not requires:
+        return Tensor(context)
+
+    def backward(grad: np.ndarray) -> None:
+        if allowed is not None:
+            grad = grad * allowed
+        grad_q, grad_k, grad_v = _chunked_attention_backward(
+            grad, q.data, k.data, v.data, bias, logsumexp, context, chunk
+        )
+        if q.requires_grad:
+            q._accumulate(grad_q)
+        if k.requires_grad:
+            k._accumulate(grad_k)
+        if v.requires_grad:
+            v._accumulate(grad_v)
+
+    return Tensor(context, requires_grad=True, parents=(q, k, v), backward=backward)
+
+
 def _attention_softmax_array(
     scores: np.ndarray, mask: Optional[AttentionMask], batched: bool
 ) -> np.ndarray:
@@ -143,14 +347,23 @@ class MultiHeadAttention(Module):
         num_heads: int,
         rng: Optional[np.random.Generator] = None,
         compute_dtype=None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__()
         if embed_dim % num_heads != 0:
             raise ValueError(f"embed_dim={embed_dim} must be divisible by num_heads={num_heads}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         rng = rng if rng is not None else np.random.default_rng()
         self.embed_dim = embed_dim
         self.num_heads = num_heads
         self.head_dim = embed_dim // num_heads
+        #: With a chunk size set, the score/softmax/context stage runs the
+        #: streaming-softmax kernel (fixed-size key chunks, running
+        #: max/denominator, no ``S×S`` intermediate) in both the autograd and
+        #: no-grad paths; ``None`` keeps the dense kernel.  The reference path
+        #: and ``return_weights`` callers always use the dense kernel.
+        self.chunk_size = chunk_size
         #: Optional reduced precision (e.g. ``float32``) for the O(S²) score /
         #: softmax / context stage.  Projections and the residual stream stay
         #: float64; q/k/v are cast after projection and the context is cast
@@ -218,10 +431,6 @@ class MultiHeadAttention(Module):
             k = k.astype(self.compute_dtype)
             v = v.astype(self.compute_dtype)
 
-        scores = q.matmul(k.swapaxes(-1, -2))  # (batch, heads, q_len, k_len)
-        if reference:
-            scores = scores * scale
-
         if mask is not None:
             if not isinstance(mask, AttentionMask):
                 mask = AttentionMask(mask)
@@ -229,14 +438,19 @@ class MultiHeadAttention(Module):
                 raise ValueError(
                     f"mask shape {mask.shape} does not match ({batch}, {q_len}, {k_len})"
                 )
-        if reference:
-            weights = self._masked_weights_reference(
-                scores, mask, (batch, self.num_heads, q_len, k_len), batched=True
-            )
+        if self.chunk_size is not None and not reference and not return_weights:
+            context = _chunked_attention(q, k, v, mask, True, self.chunk_size)
         else:
-            weights = _attention_softmax(scores, mask, batched=True)
-
-        context = weights.matmul(v)  # (batch, heads, q_len, head_dim)
+            scores = q.matmul(k.swapaxes(-1, -2))  # (batch, heads, q_len, k_len)
+            if reference:
+                scores = scores * scale
+            if reference:
+                weights = self._masked_weights_reference(
+                    scores, mask, (batch, self.num_heads, q_len, k_len), batched=True
+                )
+            else:
+                weights = _attention_softmax(scores, mask, batched=True)
+            context = weights.matmul(v)  # (batch, heads, q_len, head_dim)
         context = context.transpose((0, 2, 1, 3)).reshape(batch, q_len, self.embed_dim)
         if context.dtype != np.float64:
             context = context.astype(np.float64)
@@ -294,7 +508,6 @@ class MultiHeadAttention(Module):
             k = k.astype(self.compute_dtype)
             v = v.astype(self.compute_dtype)
 
-        scores = np.matmul(q, np.swapaxes(k, -1, -2))
         if mask is not None:
             if not isinstance(mask, AttentionMask):
                 mask = AttentionMask(mask)
@@ -302,9 +515,12 @@ class MultiHeadAttention(Module):
                 raise ValueError(
                     f"mask shape {mask.shape} does not match {expected_shapes[-1]}"
                 )
-        weights = _attention_softmax_array(scores, mask, batched)
-
-        context = np.matmul(weights, v)
+        if self.chunk_size is not None and not return_weights:
+            context = _chunked_attention_array(q, k, v, mask, batched, self.chunk_size)
+        else:
+            scores = np.matmul(q, np.swapaxes(k, -1, -2))
+            weights = _attention_softmax_array(scores, mask, batched)
+            context = np.matmul(weights, v)
         if batched:
             context = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.embed_dim)
         else:
@@ -373,23 +589,24 @@ class MultiHeadAttention(Module):
             k = k.astype(self.compute_dtype)
             v = v.astype(self.compute_dtype)
 
-        scores = q.matmul(k.swapaxes(1, 2))  # (heads, q_len, k_len)
-        if reference:
-            scores = scores * scale
-
         if mask is not None:
             if not isinstance(mask, AttentionMask):
                 mask = AttentionMask(mask)
             if mask.shape != (q_len, k_len):
                 raise ValueError(f"mask shape {mask.shape} does not match ({q_len}, {k_len})")
-        if reference:
-            weights = self._masked_weights_reference(
-                scores, mask, (self.num_heads, q_len, k_len), batched=False
-            )
+        if self.chunk_size is not None and not reference and not return_weights:
+            context = _chunked_attention(q, k, v, mask, False, self.chunk_size)
         else:
-            weights = _attention_softmax(scores, mask, batched=False)
-
-        context = weights.matmul(v)  # (heads, q_len, head_dim)
+            scores = q.matmul(k.swapaxes(1, 2))  # (heads, q_len, k_len)
+            if reference:
+                scores = scores * scale
+            if reference:
+                weights = self._masked_weights_reference(
+                    scores, mask, (self.num_heads, q_len, k_len), batched=False
+                )
+            else:
+                weights = _attention_softmax(scores, mask, batched=False)
+            context = weights.matmul(v)  # (heads, q_len, head_dim)
         context = context.swapaxes(0, 1).reshape(q_len, self.embed_dim)
         if context.dtype != np.float64:
             context = context.astype(np.float64)
@@ -436,12 +653,13 @@ class TransformerEncoderLayer(Module):
         activation: str = "relu",
         rng: Optional[np.random.Generator] = None,
         compute_dtype=None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
         hidden_dim = hidden_dim if hidden_dim is not None else 4 * embed_dim
         self.attention = MultiHeadAttention(
-            embed_dim, num_heads, rng=rng, compute_dtype=compute_dtype
+            embed_dim, num_heads, rng=rng, compute_dtype=compute_dtype, chunk_size=chunk_size
         )
         self.feed_forward = FeedForward(embed_dim, hidden_dim, activation=activation, rng=rng)
         self.norm1 = LayerNorm(embed_dim)

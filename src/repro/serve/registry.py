@@ -131,7 +131,7 @@ class RLPlanner(Planner):
     best), which is inherently per-request.
     """
 
-    capabilities = frozenset({"batch", "objective", "sampled"})
+    capabilities = frozenset({"batch", "objective", "sampled", "step_cache"})
     description = "two-stage deep-RL rescheduler (the paper's system)"
 
     def __init__(self, agent: VMR2LAgent) -> None:
@@ -177,6 +177,7 @@ class RLPlanner(Planner):
         greedy: bool = True,
         seed: Optional[int] = None,
         max_active: Optional[int] = None,
+        step_cache: bool = True,
     ) -> List[ReschedulingResult]:
         if not greedy:
             return super().plan_batch(
@@ -189,6 +190,7 @@ class RLPlanner(Planner):
             seed=0 if seed is None else seed,
             objective=objective,
             max_active=max_active,
+            use_step_cache=step_cache,
         )
 
 

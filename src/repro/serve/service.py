@@ -62,6 +62,14 @@ class ServiceConfig:
     #: pool of this size instead of inline — useful when large snapshots make
     #: the replay dominate response time.  ``0`` evaluates in-process.
     eval_workers: int = 0
+    #: Carry a step-incremental encoder cache across the micro-batched
+    #: decision steps of RL plan groups (planners advertising the
+    #: ``step_cache`` capability): each episode re-featurizes/re-encodes only
+    #: what its last migration touched.  Same function as a fresh forward —
+    #: plans match the knob-off path up to ~1e-16 embedding drift at exact
+    #: argmax ties (see ``repro.core.step_cache``); disable to A/B or to rule
+    #: the cache out while debugging a plan difference.
+    rl_step_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -249,6 +257,11 @@ class ReschedulingService:
         start = time.perf_counter()
         try:
             if len(group) > 1:
+                extra = (
+                    {"step_cache": self.config.rl_step_cache}
+                    if "step_cache" in planner.capabilities
+                    else {}
+                )
                 results = planner.plan_batch(
                     states,
                     limits,
@@ -256,6 +269,7 @@ class ReschedulingService:
                     greedy=greedy,
                     seed=seed,
                     max_active=self.config.max_batch_size,
+                    **extra,
                 )
             else:
                 results = [

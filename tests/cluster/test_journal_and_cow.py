@@ -1,0 +1,130 @@
+"""SoA mutation journal (dirty-set tracking) + copy-on-write ClusterState.copy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, ConstraintChecker
+from repro.cluster.soa import JOURNAL_CAPACITY
+from repro.datasets import ClusterSpec, SnapshotGenerator
+
+
+def _state(num_pms=10, seed=0):
+    spec = ClusterSpec(
+        name="journal", num_pms=num_pms, target_utilization=0.8, best_fit_fraction=0.3
+    )
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+def _first_move(state):
+    checker = ConstraintChecker()
+    for vm_id in state.placed_vm_ids():
+        mask = checker.destination_mask(state, vm_id)
+        if mask.any():
+            return vm_id, int(state.arrays().pm_ids[np.flatnonzero(mask)[0]])
+    pytest.skip("no feasible migration in generated state")
+
+
+class TestMutationJournal:
+    def test_migration_records_both_endpoints(self):
+        state = _state()
+        soa = state.arrays()
+        version = soa.version
+        vm_id, dest_pm = _first_move(state)
+        source_row = int(soa.vm_pm[soa.vm_row[vm_id]])
+        state.migrate_vm(vm_id, dest_pm)
+        vm_rows, pm_rows = soa.dirty_since(version)
+        assert vm_rows.tolist() == [soa.vm_row[vm_id]]
+        assert set(pm_rows.tolist()) == {source_row, soa.pm_row[dest_pm]}
+
+    def test_current_version_is_empty(self):
+        state = _state()
+        soa = state.arrays()
+        vm_rows, pm_rows = soa.dirty_since(soa.version)
+        assert vm_rows.size == 0 and pm_rows.size == 0
+
+    def test_future_and_stale_versions_return_none(self):
+        state = _state()
+        soa = state.arrays()
+        assert soa.dirty_since(soa.version + 1) is None
+
+    def test_journal_trims_and_reports_stale(self):
+        state = _state()
+        soa = state.arrays()
+        vm_id, dest_pm = _first_move(state)
+        source_pm = int(state.vms[vm_id].pm_id)
+        version = soa.version
+        for _ in range(JOURNAL_CAPACITY // 2 + 2):
+            state.migrate_vm(vm_id, dest_pm)
+            state.migrate_vm(vm_id, source_pm)
+        assert soa.dirty_since(version) is None  # fell off the journal
+        recent = soa.version - 2
+        dirty = soa.dirty_since(recent)
+        assert dirty is not None and dirty[0].size == 1
+
+    def test_copy_journals_independently(self):
+        state = _state()
+        soa = state.arrays()
+        version = soa.version
+        clone = state.copy()
+        vm_id, dest_pm = _first_move(clone)
+        clone.migrate_vm(vm_id, dest_pm)
+        # Original's view saw nothing; the clone's own view journalled it.
+        vm_rows, pm_rows = soa.dirty_since(version)
+        assert vm_rows.size == 0
+        clone_dirty = clone.arrays().dirty_since(version)
+        assert clone_dirty is not None and clone_dirty[0].size == 1
+
+
+class TestCopyOnWrite:
+    def test_clone_mutation_leaves_original_intact(self):
+        state = _state()
+        clone = state.copy()
+        vm_id, dest_pm = _first_move(clone)
+        before = state.vms[vm_id].pm_id
+        clone.migrate_vm(vm_id, dest_pm)
+        assert state.vms[vm_id].pm_id == before
+        assert clone.vms[vm_id].pm_id == dest_pm
+        state.arrays().assert_in_sync(state)
+        clone.arrays().assert_in_sync(clone)
+
+    def test_original_mutation_leaves_clone_intact(self):
+        state = _state(seed=1)
+        clone = state.copy()
+        vm_id, dest_pm = _first_move(state)
+        before = clone.vms[vm_id].pm_id
+        state.migrate_vm(vm_id, dest_pm)
+        assert clone.vms[vm_id].pm_id == before
+        clone.arrays().assert_in_sync(clone)
+        state.arrays().assert_in_sync(state)
+
+    def test_chained_copies(self):
+        state = _state(seed=2)
+        first = state.copy()
+        vm_id, dest_pm = _first_move(first)
+        first.migrate_vm(vm_id, dest_pm)
+        second = first.copy()
+        source_pm = int(second.vms[vm_id].pm_id)
+        # Migrate back in the grandchild; parent and grandparent unaffected.
+        back_to = int(state.vms[vm_id].pm_id)
+        if second.can_host(vm_id, back_to):
+            second.migrate_vm(vm_id, back_to)
+            assert first.vms[vm_id].pm_id == source_pm
+        for s in (state, first, second):
+            s.arrays().assert_in_sync(s)
+
+    def test_set_anti_affinity_group_is_cow_safe(self):
+        state = _state(seed=3)
+        clone = state.copy()
+        vm_id = state.placed_vm_ids()[0]
+        clone.set_anti_affinity_group(vm_id, 7)
+        assert state.vms[vm_id].anti_affinity_group is None
+        assert clone.vms[vm_id].anti_affinity_group == 7
+
+    def test_round_trip_survives_cow(self):
+        state = _state(seed=4)
+        clone = state.copy()
+        vm_id, dest_pm = _first_move(clone)
+        clone.migrate_vm(vm_id, dest_pm)
+        restored = ClusterState.from_dict(clone.to_dict())
+        assert restored.vms[vm_id].pm_id == dest_pm
+        assert restored.fragment_rate() == pytest.approx(clone.fragment_rate())

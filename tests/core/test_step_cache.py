@@ -1,0 +1,235 @@
+"""Incremental StepCache + incremental featurization vs fresh recompute.
+
+The step cache must be *exact*: over full multi-step episodes (including
+auto-reset into a new episode), cached forwards match fresh featurize/encode
+to ≤1e-10 and greedy plans are identical to fresh-recompute plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConstraintConfig
+from repro.core.agent import VMR2LAgent
+from repro.core.config import ModelConfig, VMR2LConfig
+from repro.core.features import build_feature_batch, patch_feature_batch
+from repro.core.policy import TwoStagePolicy
+from repro.core.step_cache import StepCache
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.env.vmr_env import VMRescheduleEnv
+from repro.nn import no_grad
+
+
+def _state(num_pms=12, seed=0, utilization=0.8):
+    spec = ClusterSpec(
+        name="step-cache",
+        num_pms=num_pms,
+        target_utilization=utilization,
+        best_fit_fraction=0.3,
+    )
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+class TestIncrementalObservation:
+    def test_incremental_builds_equal_fresh(self):
+        """Every patched observation equals a from-scratch featurization."""
+        from repro.cluster import ConstraintChecker
+        from repro.env.observation import ObservationBuilder
+
+        env = VMRescheduleEnv(_state(seed=3), ConstraintConfig(migration_limit=8))
+        obs = env.reset()
+        rng = np.random.default_rng(0)
+        config = env.builder.checker.config
+        deltas_seen = 0
+        for step in range(16):
+            fresh = ObservationBuilder(ConstraintChecker(config)).build(
+                env.state, env.migrations_left()
+            )
+            assert np.array_equal(obs.pm_features, fresh.pm_features)
+            assert np.array_equal(obs.vm_features, fresh.vm_features)
+            assert np.array_equal(obs.vm_mask, fresh.vm_mask)
+            assert np.array_equal(obs.vm_source_pm, fresh.vm_source_pm)
+            if obs.delta is not None and obs.delta.step_index > 0:
+                deltas_seen += 1
+                # The journalled move must appear in the delta's moved rows.
+                assert obs.delta.moved_vm_rows.size >= 1
+            if not obs.vm_mask.any():
+                break
+            vm = rng.choice(np.flatnonzero(obs.vm_mask))
+            pm = rng.choice(np.flatnonzero(env.pm_action_mask(vm)))
+            obs, _, done, _ = env.step((vm, pm))
+            if done:
+                obs = env.reset()
+                # Auto-reset copies the template: a fresh chain begins.
+                assert obs.delta is None or obs.delta.step_index == 0
+        assert deltas_seen > 0
+
+    def test_structural_change_falls_back(self):
+        """add_vm invalidates the SoA view; the next build starts a new chain."""
+        from repro.cluster.machine import VirtualMachine
+        from repro.cluster.vm_types import VMType
+
+        env = VMRescheduleEnv(_state(seed=4), ConstraintConfig(migration_limit=6))
+        obs = env.reset()
+        vm = np.flatnonzero(obs.vm_mask)[0]
+        pm = np.flatnonzero(env.pm_action_mask(vm))[0]
+        obs, _, _, _ = env.step((vm, pm))
+        assert obs.delta is not None and obs.delta.step_index == 1
+        new_id = max(env.state.vms) + 1
+        env.state.add_vm(VirtualMachine(vm_id=new_id, vm_type=VMType("t", 1, 4, 1)))
+        rebuilt = env.builder.build(env.state, env.migrations_left())
+        assert rebuilt.delta is None or rebuilt.delta.step_index == 0
+        assert rebuilt.num_vms == obs.num_vms + 1
+
+    def test_patch_feature_batch_matches_fresh(self):
+        env = VMRescheduleEnv(_state(seed=5), ConstraintConfig(migration_limit=8))
+        obs = env.reset()
+        rng = np.random.default_rng(1)
+        previous = None
+        for _ in range(8):
+            batch = patch_feature_batch(previous, obs)
+            fresh = build_feature_batch(obs)
+            assert np.array_equal(batch.membership, fresh.membership)
+            for got, expected in zip(batch.tree_layout(), fresh.tree_layout()):
+                np.testing.assert_array_equal(got, expected)
+            previous = batch
+            if not obs.vm_mask.any():
+                break
+            vm = rng.choice(np.flatnonzero(obs.vm_mask))
+            pm = rng.choice(np.flatnonzero(env.pm_action_mask(vm)))
+            obs, _, done, _ = env.step((vm, pm))
+            if done:
+                break
+
+
+class TestStepCacheEncoder:
+    @pytest.mark.parametrize("model", [
+        ModelConfig(),
+        ModelConfig(extractor="vanilla"),
+        ModelConfig(attention_impl="chunked", attention_chunk_size=16),
+        ModelConfig(inference_dtype="float32"),
+    ], ids=["sparse", "vanilla", "chunked", "float32"])
+    def test_cached_forward_matches_fresh_over_episodes(self, model):
+        policy = TwoStagePolicy(model, rng=np.random.default_rng(0))
+        env = VMRescheduleEnv(_state(seed=6), ConstraintConfig(migration_limit=5))
+        obs = env.reset()
+        cache = StepCache()
+        rng = np.random.default_rng(2)
+        episodes = 0
+        # f64 parity is ≤1e-10; the float32 inference mode carries f32
+        # epsilon (~1e-7 per op) through the stack instead.
+        atol = 1e-10 if model.inference_dtype == "float64" else 1e-4
+        with no_grad():
+            for _ in range(14):  # spans ≥2 episodes (limit 5) incl. auto-reset
+                _, cached = cache.forward(policy.extractor, obs)
+                fresh = policy.extractor(build_feature_batch(obs))
+                np.testing.assert_allclose(
+                    cached.vm_embeddings.data, fresh.vm_embeddings.data, rtol=0, atol=atol
+                )
+                np.testing.assert_allclose(
+                    cached.pm_embeddings.data, fresh.pm_embeddings.data, rtol=0, atol=atol
+                )
+                np.testing.assert_allclose(
+                    cached.vm_pm_scores, fresh.vm_pm_scores, rtol=0, atol=atol
+                )
+                if not obs.vm_mask.any():
+                    break
+                vm = rng.choice(np.flatnonzero(obs.vm_mask))
+                pm = rng.choice(np.flatnonzero(env.pm_action_mask(vm)))
+                obs, _, done, _ = env.step((vm, pm))
+                if done:
+                    obs = env.reset()
+                    episodes += 1
+        assert episodes >= 1
+        assert cache.hits > 0
+
+    def test_refuses_outside_inference(self):
+        policy = TwoStagePolicy(ModelConfig(), rng=np.random.default_rng(0))
+        cache = StepCache()
+        assert not cache.usable(policy.extractor)  # grad enabled
+        with no_grad():
+            assert cache.usable(policy.extractor)
+
+    def test_stacked_matches_single(self):
+        """forward_batch over several episodes equals per-row fresh forwards."""
+        policy = TwoStagePolicy(ModelConfig(), rng=np.random.default_rng(0))
+        envs = [
+            VMRescheduleEnv(_state(seed=7), ConstraintConfig(migration_limit=6))
+            for _ in range(3)
+        ]
+        observations = [env.reset() for env in envs]
+        cache = StepCache()
+        rng = np.random.default_rng(3)
+        with no_grad():
+            for _ in range(6):
+                _, stacked = cache.forward_batch(policy.extractor, observations)
+                for row, obs in enumerate(observations):
+                    fresh = policy.extractor(build_feature_batch(obs))
+                    np.testing.assert_allclose(
+                        stacked.vm_embeddings.data[row],
+                        fresh.vm_embeddings.data,
+                        rtol=0, atol=1e-10,
+                    )
+                    np.testing.assert_allclose(
+                        stacked.vm_pm_scores[row],
+                        fresh.vm_pm_scores,
+                        rtol=0, atol=1e-10,
+                    )
+                for index, env in enumerate(envs):
+                    obs = observations[index]
+                    if not obs.vm_mask.any():
+                        observations[index] = env.reset()
+                        continue
+                    vm = rng.choice(np.flatnonzero(obs.vm_mask))
+                    pm = rng.choice(np.flatnonzero(env.pm_action_mask(vm)))
+                    next_obs, _, done, _ = env.step((vm, pm))
+                    observations[index] = env.reset() if done else next_obs
+        assert cache.hits > 0
+
+
+class TestStepCachePlans:
+    def test_plan_batch_plans_identical(self):
+        states = [_state(seed=s) for s in range(4)]
+        agent = VMR2LAgent(seed=0)
+        cached = agent.plan_batch(
+            states, migration_limits=5, greedy=True, seed=0, max_active=2,
+            use_step_cache=True,
+        )
+        fresh = agent.plan_batch(
+            states, migration_limits=5, greedy=True, seed=0, max_active=2,
+            use_step_cache=False,
+        )
+        for got, expected in zip(cached, fresh):
+            assert [(m.vm_id, m.dest_pm_id) for m in got.plan] == [
+                (m.vm_id, m.dest_pm_id) for m in expected.plan
+            ]
+            assert got.info["final_objective"] == pytest.approx(
+                expected.info["final_objective"]
+            )
+
+    def test_plan_batch_float32_identical(self):
+        states = [_state(seed=s) for s in range(2)]
+        config = VMR2LConfig(model=ModelConfig(inference_dtype="float32"))
+        agent = VMR2LAgent(config=config, seed=0)
+        cached = agent.plan_batch(states, 4, greedy=True, seed=0, use_step_cache=True)
+        fresh = agent.plan_batch(states, 4, greedy=True, seed=0, use_step_cache=False)
+        for got, expected in zip(cached, fresh):
+            assert [(m.vm_id, m.dest_pm_id) for m in got.plan] == [
+                (m.vm_id, m.dest_pm_id) for m in expected.plan
+            ]
+
+    def test_rollout_trajectory_with_cache(self):
+        from repro.core.risk_seeking import rollout_trajectory
+
+        state = _state(seed=9)
+        policy = TwoStagePolicy(ModelConfig(), rng=np.random.default_rng(0))
+        fresh = rollout_trajectory(
+            policy, state, 5, np.random.default_rng(0), greedy=True
+        )
+        cached = rollout_trajectory(
+            policy, state, 5, np.random.default_rng(0), greedy=True,
+            step_cache=StepCache(),
+        )
+        assert [(m.vm_id, m.dest_pm_id) for m in cached.plan] == [
+            (m.vm_id, m.dest_pm_id) for m in fresh.plan
+        ]
+        assert cached.final_objective == pytest.approx(fresh.final_objective)

@@ -34,6 +34,9 @@ def test_bench_perf_hotpaths_smoke(tmp_path):
         "cluster_state_copy",
         "ppo_rollout_epoch",
         "ppo_update_epoch",
+        "vm_attention_large",
+        "act_large_inference",
+        "rollout_cached_steps",
     ):
         entry = results[name]
         assert entry["legacy_s"] > 0

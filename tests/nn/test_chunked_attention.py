@@ -1,0 +1,210 @@
+"""Parity suite: chunked streaming-softmax attention vs the dense kernel.
+
+The chunked kernel must compute the same function as the dense reference —
+forward and gradients, float64 and float32 — across chunk sizes, masks,
+batched/single layouts and the full extractor stack.  In no-grad float64 with
+one chunk covering every key the dense operation order is replayed exactly,
+so the outputs are bit-for-bit identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import SparseAttentionExtractor
+from repro.core.config import ModelConfig
+from repro.core.features import build_feature_batch
+from repro.env.observation import Observation
+from repro.nn import AttentionMask, MultiHeadAttention, Tensor, TransformerEncoderLayer, no_grad
+
+
+def _pair(chunk_size, compute_dtype=None, seed=3):
+    dense = MultiHeadAttention(
+        32, 4, rng=np.random.default_rng(seed), compute_dtype=compute_dtype
+    )
+    chunked = MultiHeadAttention(
+        32, 4, rng=np.random.default_rng(seed), compute_dtype=compute_dtype,
+        chunk_size=chunk_size,
+    )
+    return dense, chunked
+
+
+def _random_mask(rng, q_len, k_len, dead_row=None):
+    mask = rng.random((q_len, k_len)) < 0.4
+    np.einsum("ii->i", mask[:, :q_len])[: min(q_len, k_len)] = True
+    if dead_row is not None:
+        mask[dead_row] = False
+    return mask
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("chunk", [1, 3, 16, 64])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_no_grad_forward(self, chunk, batched):
+        rng = np.random.default_rng(0)
+        shape = (3, 41, 32) if batched else (41, 32)
+        x = rng.normal(size=shape)
+        dense, chunked = _pair(chunk)
+        with no_grad():
+            out_dense = dense(Tensor(x), Tensor(x), Tensor(x)).data
+            out_chunked = chunked(Tensor(x), Tensor(x), Tensor(x)).data
+        np.testing.assert_allclose(out_chunked, out_dense, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_single_chunk_is_bitwise(self, batched):
+        """One chunk covering all keys replays the dense op order exactly."""
+        rng = np.random.default_rng(1)
+        shape = (2, 30, 32) if batched else (30, 32)
+        x = rng.normal(size=shape)
+        dense, chunked = _pair(chunk_size=10_000)
+        with no_grad():
+            out_dense = dense(Tensor(x), Tensor(x), Tensor(x)).data
+            out_chunked = chunked(Tensor(x), Tensor(x), Tensor(x)).data
+        assert np.array_equal(out_chunked, out_dense)
+
+    @pytest.mark.parametrize("chunk", [5, 64])
+    def test_masked_with_dead_rows(self, chunk):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(37, 32))
+        mask = _random_mask(rng, 37, 37, dead_row=4)
+        dense, chunked = _pair(chunk)
+        with no_grad():
+            out_dense = dense(Tensor(x), Tensor(x), Tensor(x), mask=AttentionMask(mask)).data
+            out_chunked = chunked(Tensor(x), Tensor(x), Tensor(x), mask=AttentionMask(mask)).data
+        np.testing.assert_allclose(out_chunked, out_dense, rtol=0, atol=1e-12)
+        # Dead query rows produce exactly zero context on both kernels.
+        assert np.array_equal(out_chunked[4], np.zeros(32)) or np.allclose(out_chunked[4], 0.0)
+
+    def test_cross_attention_shapes(self):
+        """Chunking handles q_len != k_len (cross-attention layouts)."""
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(11, 32))
+        kv = rng.normal(size=(53, 32))
+        dense, chunked = _pair(7)
+        with no_grad():
+            out_dense = dense(Tensor(q), Tensor(kv), Tensor(kv)).data
+            out_chunked = chunked(Tensor(q), Tensor(kv), Tensor(kv)).data
+        np.testing.assert_allclose(out_chunked, out_dense, rtol=0, atol=1e-12)
+
+    def test_return_weights_falls_back_to_dense(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 32))
+        dense, chunked = _pair(6)
+        with no_grad():
+            out_dense, w_dense = dense(
+                Tensor(x), Tensor(x), Tensor(x), return_weights=True
+            )
+            out_chunked, w_chunked = chunked(
+                Tensor(x), Tensor(x), Tensor(x), return_weights=True
+            )
+        assert np.array_equal(w_chunked, w_dense)
+        assert np.array_equal(out_chunked.data, out_dense.data)
+
+
+class TestGradientParity:
+    @pytest.mark.parametrize("chunk", [3, 17, 64])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_input_and_parameter_gradients(self, chunk, batched):
+        rng = np.random.default_rng(5)
+        shape = (2, 29, 32) if batched else (29, 32)
+        x = rng.normal(size=shape)
+        mask = _random_mask(rng, 29, 29, dead_row=3)
+        dense, chunked = _pair(chunk)
+        grad = rng.normal(size=shape)
+
+        results = {}
+        for name, layer in (("dense", dense), ("chunked", chunked)):
+            xt = Tensor(x.copy(), requires_grad=True)
+            out = layer(xt, xt, xt, mask=AttentionMask(mask))
+            out.backward(grad.copy())
+            results[name] = (
+                out.data,
+                xt.grad,
+                {k: p.grad for k, p in layer.named_parameters()},
+            )
+        np.testing.assert_allclose(results["chunked"][0], results["dense"][0], rtol=0, atol=1e-12)
+        np.testing.assert_allclose(results["chunked"][1], results["dense"][1], rtol=0, atol=1e-10)
+        for key, dense_grad in results["dense"][2].items():
+            np.testing.assert_allclose(
+                results["chunked"][2][key], dense_grad, rtol=0, atol=1e-10,
+                err_msg=f"parameter {key}",
+            )
+
+    def test_float32_compute_dtype(self):
+        """The reduced-precision VM↔VM mode works chunked, within f32 slack."""
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(33, 32))
+        dense, chunked = _pair(8, compute_dtype=np.float32)
+        grad = rng.normal(size=(33, 32))
+        outs, grads = [], []
+        for layer in (dense, chunked):
+            xt = Tensor(x.copy(), requires_grad=True)
+            out = layer(xt, xt, xt)
+            out.backward(grad.copy())
+            outs.append(out.data)
+            grads.append(xt.grad)
+        np.testing.assert_allclose(outs[1], outs[0], rtol=0, atol=1e-5)
+        np.testing.assert_allclose(grads[1], grads[0], rtol=0, atol=1e-4)
+
+
+class TestEncoderLayerAndExtractor:
+    def test_encoder_layer_parity(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(45, 32))
+        dense = TransformerEncoderLayer(32, 4, 64, rng=np.random.default_rng(8))
+        chunked = TransformerEncoderLayer(
+            32, 4, 64, rng=np.random.default_rng(8), chunk_size=9
+        )
+        with no_grad():
+            np.testing.assert_allclose(
+                chunked(Tensor(x)).data, dense(Tensor(x)).data, rtol=0, atol=1e-12
+            )
+
+    @staticmethod
+    def _observation(rng, num_pms=6, num_vms=40):
+        source = rng.integers(0, num_pms, size=num_vms)
+        return Observation(
+            pm_features=rng.random((num_pms, 8)),
+            vm_features=rng.random((num_vms, 14)),
+            vm_source_pm=source,
+            vm_mask=np.ones(num_vms, dtype=bool),
+            vm_ids=list(range(num_vms)),
+            pm_ids=list(range(num_pms)),
+            migrations_left=10,
+        )
+
+    @pytest.mark.parametrize("grad", [False, True])
+    def test_extractor_forward_parity(self, grad):
+        """ModelConfig.attention_impl="chunked" matches the dense extractor."""
+        rng = np.random.default_rng(9)
+        observation = self._observation(rng)
+        dense = SparseAttentionExtractor(
+            ModelConfig(), rng=np.random.default_rng(10)
+        )
+        chunked = SparseAttentionExtractor(
+            ModelConfig(attention_impl="chunked", attention_chunk_size=8),
+            rng=np.random.default_rng(10),
+        )
+        def run(extractor):
+            if grad:
+                return extractor(build_feature_batch(observation))
+            with no_grad():
+                return extractor(build_feature_batch(observation))
+        out_dense = run(dense)
+        out_chunked = run(chunked)
+        np.testing.assert_allclose(
+            out_chunked.vm_embeddings.data, out_dense.vm_embeddings.data, rtol=0, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            out_chunked.pm_embeddings.data, out_dense.pm_embeddings.data, rtol=0, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            out_chunked.vm_pm_scores, out_dense.vm_pm_scores, rtol=0, atol=1e-10
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(attention_impl="flash3")
+        with pytest.raises(ValueError):
+            ModelConfig(attention_chunk_size=0)
+        with pytest.raises(ValueError):
+            MultiHeadAttention(32, 4, chunk_size=-1)
