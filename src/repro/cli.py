@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel environments (default: one per worker)")
     train.add_argument("--start-method", default=None, choices=["fork", "spawn"],
                        help="multiprocessing start method for --num-workers > 0")
+    train.add_argument("--on-worker-failure", default="raise", choices=["raise", "restart"],
+                       help="supervision policy for crashed/hung collection workers")
+    train.add_argument("--worker-timeout-s", type=float, default=None,
+                       help="treat a collection worker as hung after this many "
+                            "seconds without a reply (default: wait forever)")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--json", action="store_true")
 
@@ -120,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for plan-quality evaluation (0 = inline)")
     serve.add_argument("--no-micro-batching", action="store_true",
                        help="dispatch every request individually")
+    serve.add_argument("--max-queue-depth", type=int, default=0,
+                       help="shed requests once this many are queued (0 = unbounded)")
+    serve.add_argument("--deadline-policy", default="partial",
+                       choices=("partial", "error", "fallback"),
+                       help="what an expired deadline_ms yields: the best partial "
+                            "plan, a 408 error, or a fallback-planner re-plan")
+    serve.add_argument("--fallback-planner", default=None,
+                       help="registry key of the fast baseline used by "
+                            "--deadline-policy fallback (e.g. 'ha')")
     serve.add_argument("--fast-only", action="store_true",
                        help="register only the low-latency planners (rl, ha, vbpp, random)")
     serve.add_argument("--once", action="store_true",
@@ -171,7 +185,9 @@ def cmd_train(args) -> Dict:
     history = agent.train_on_states(train_states, total_steps=args.total_steps,
                                     eval_states=eval_states, eval_every=4,
                                     num_workers=args.num_workers, num_envs=args.num_envs,
-                                    start_method=args.start_method)
+                                    start_method=args.start_method,
+                                    on_worker_failure=args.on_worker_failure,
+                                    worker_timeout_s=args.worker_timeout_s)
     path = agent.save(args.checkpoint)
     summary = {
         "checkpoint": str(path),
@@ -196,6 +212,9 @@ def _build_service(args, max_batch_size: int = 8) -> ReschedulingService:
         max_wait_ms=getattr(args, "max_wait_ms", 2.0),
         micro_batching=not getattr(args, "no_micro_batching", False),
         eval_workers=getattr(args, "eval_workers", 0),
+        max_queue_depth=getattr(args, "max_queue_depth", 0),
+        deadline_policy=getattr(args, "deadline_policy", "partial"),
+        fallback_planner=getattr(args, "fallback_planner", None),
     )
     return ReschedulingService(registry, config)
 

@@ -111,6 +111,8 @@ class VMR2LAgent(Rescheduler):
         num_workers: int = 0,
         num_envs: Optional[int] = None,
         start_method: Optional[str] = None,
+        on_worker_failure: str = "raise",
+        worker_timeout_s: Optional[float] = None,
     ) -> List[TrainingLogEntry]:
         """Train PPO on episodes sampled uniformly from ``train_states``.
 
@@ -130,6 +132,11 @@ class VMR2LAgent(Rescheduler):
         ``num_envs > 1`` with ``num_workers == 0`` collects from an
         in-process :class:`~repro.env.vector_env.SyncVectorEnv` — same
         batched rollouts without the extra processes.
+
+        ``on_worker_failure`` / ``worker_timeout_s`` forward to the async
+        env's supervisor: ``"restart"`` keeps long training runs alive
+        through worker crashes (and, with a timeout, hangs) by respawning
+        the failed shard in place.
         """
         if not train_states:
             raise ValueError("train_states must not be empty")
@@ -179,6 +186,8 @@ class VMR2LAgent(Rescheduler):
                     # buffers for the largest training mapping up front.
                     max_pms=max(state.num_pms for state in train_states),
                     max_vms=max(state.num_vms for state in train_states),
+                    on_worker_failure=on_worker_failure,
+                    worker_timeout_s=worker_timeout_s,
                 )
             else:
                 env = SyncVectorEnv(factories)
@@ -232,6 +241,7 @@ class VMR2LAgent(Rescheduler):
         objective: Optional[Objective] = None,
         max_active: Optional[int] = None,
         use_step_cache: bool = True,
+        deadline_s: Optional[float] = None,
     ) -> List[ReschedulingResult]:
         """Plan for several snapshots with micro-batched policy forwards.
 
@@ -260,6 +270,16 @@ class VMR2LAgent(Rescheduler):
         re-padding drift (~1e-16 relative), so cached plans equal
         fresh-recompute plans except at exact argmax ties at that level
         (pinned by the step-cache parity suite).
+
+        ``deadline_s`` is a wall-clock budget for the whole call: the
+        remaining budget is checked between lock-step decision steps, and
+        when it runs out the rollout stops where it stands — every episode
+        keeps the (valid, applicable) migrations it executed so far, and its
+        result carries ``info["partial"] = True`` when the episode did not
+        finish.  Steps already in flight complete, so the call overshoots
+        the budget by at most one stacked forward.  Deadline-bounded plans
+        are a *prefix* of the unbounded greedy plan (the per-step argmax
+        does not depend on the budget).
         """
         states = list(states)
         if not states:
@@ -287,9 +307,12 @@ class VMR2LAgent(Rescheduler):
         envs: List[Optional[VMRescheduleEnv]] = [None] * len(states)
         observations: List = [None] * len(states)
         waiting: List[int] = []
+        finished: set = set()
         for index, limit in enumerate(migration_limits):
             if limit > 0:
                 waiting.append(index)
+            else:
+                finished.add(index)  # nothing requested: trivially complete
         waiting.reverse()  # pop() admits in request order
         active: List[int] = []
 
@@ -312,11 +335,21 @@ class VMR2LAgent(Rescheduler):
                 observations[index] = env.reset()
                 active.append(index)
 
+        deadline_hit = False
         while active or waiting:
+            if deadline_s is not None and time.perf_counter() - start >= deadline_s:
+                deadline_hit = True
+                break
             admit()
             # Episodes whose observation has no movable VM end immediately
             # (mirrors the rollout_trajectory loop guard).
-            active = [i for i in active if observations[i].vm_mask.any()]
+            running: List[int] = []
+            for i in active:
+                if observations[i].vm_mask.any():
+                    running.append(i)
+                else:
+                    finished.add(i)
+            active = running
             if not active:
                 continue
             batch_obs = [observations[i] for i in active]
@@ -340,6 +373,8 @@ class VMR2LAgent(Rescheduler):
                 observations[index] = observation
                 if not done:
                     still_running.append(index)
+                else:
+                    finished.add(index)
             active = still_running
         elapsed = time.perf_counter() - start
 
@@ -351,27 +386,36 @@ class VMR2LAgent(Rescheduler):
         results: List[ReschedulingResult] = []
         for index, env in enumerate(envs):
             if env is None:
+                info = {"noop": True, "batch_size": min(len(states), slots)}
+                if deadline_s is not None:
+                    # A queued episode the budget never admitted is a partial
+                    # plan of length zero, not a no-op the caller asked for.
+                    info["partial"] = index not in finished
                 results.append(
                     ReschedulingResult(
                         plan=MigrationPlan(),
                         inference_seconds=0.0,
                         algorithm=self.name,
-                        info={"noop": True, "batch_size": min(len(states), slots)},
+                        info=info,
                     )
                 )
                 continue
             share = env.steps_taken / total_steps if total_steps else 1.0 / len(states)
+            info = {
+                "batch_size": min(len(states), slots),
+                "batch_seconds": elapsed,
+                "final_objective": env.episode_metric(),
+                "greedy": greedy,
+            }
+            if deadline_s is not None:
+                info["partial"] = index not in finished
+                info["deadline_hit"] = deadline_hit
             results.append(
                 ReschedulingResult(
                     plan=env.executed_plan().truncated(migration_limits[index]),
                     inference_seconds=elapsed * share,
                     algorithm=self.name,
-                    info={
-                        "batch_size": min(len(states), slots),
-                        "batch_seconds": elapsed,
-                        "final_objective": env.episode_metric(),
-                        "greedy": greedy,
-                    },
+                    info=info,
                 )
             )
         return results

@@ -21,18 +21,37 @@ Determinism
     ``functools.partial`` objects, not lambdas.
 
 Failure handling
-    A worker exception is caught, formatted and sent back; the parent raises
+    A worker exception is caught, formatted and sent back; under the default
+    ``on_worker_failure="raise"`` policy the parent raises
     :class:`AsyncVectorEnvError` carrying the worker index and remote
     traceback after draining the in-flight exchange (pipes never desync).  A
-    worker that dies outright (killed, segfault) surfaces as the same error.
-    ``close()`` is idempotent, joins with a timeout and terminates stragglers.
+    worker that dies outright (killed, segfault) surfaces as the same error,
+    and ``worker_timeout_s`` additionally treats a worker that stops
+    *replying* (hung in a step, deadlocked) as failed.  ``close()`` is
+    idempotent, joins with a timeout and kills stragglers; a dead worker's
+    half-closed pipe can never hang it.
+
+Supervision (``on_worker_failure="restart"``)
+    A dead or hung worker's shard is respawned in place: the replacement
+    process rebuilds the shard's environments from the original factories,
+    re-seeds them deterministically (``seed + env_index``, exactly like
+    startup) and resets them, writing fresh observations into the same
+    shared-memory slots — the exchange resumes without desyncing pipes or
+    slots.  When the failure interrupted a ``step`` exchange the parent
+    synthesizes that shard's step result (reward ``0.0``, ``done=True``,
+    ``info["worker_restarted"]=True``) so auto-reset semantics hold and the
+    trainer simply starts a new episode for those slots; other in-flight
+    commands are re-issued to the replacement.  Restarts are bounded
+    (``max_worker_restarts`` per worker, exponential ``restart_backoff_s``);
+    past the budget the failure raises as under the ``"raise"`` policy.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +60,7 @@ from .vector_env import VectorEnv
 
 
 class AsyncVectorEnvError(RuntimeError):
-    """A worker process failed; carries the remote traceback(s)."""
+    """A worker process failed; carries the worker index and remote traceback(s)."""
 
 
 def _worker(
@@ -162,11 +181,30 @@ class AsyncVectorEnv(VectorEnv):
         requires picklable factories and matches what macOS/Windows use.
     seed:
         When given, worker *w* seeds env *i* with ``seed + i`` at startup via
-        ``env.seed`` (see the module docstring on determinism).
+        ``env.seed`` (see the module docstring on determinism).  Restarted
+        workers re-seed with the same rule, so a respawned shard's episode
+        stream is reproducible.
     max_pms / max_vms:
         Shared-buffer capacities.  Default: the probe observation's sizes —
         pass explicit capacities when a state sampler can draw larger
         snapshots in later episodes (e.g. the largest training mapping).
+    on_worker_failure:
+        ``"raise"`` (default) keeps the historical terminal behavior;
+        ``"restart"`` respawns a dead/hung worker's shard in place (see the
+        module docstring on supervision).
+    worker_timeout_s:
+        With a value, a worker that does not reply within this many seconds
+        is treated as hung and handled by the failure policy (the hung
+        process is killed either way).  ``None`` (default) waits forever —
+        only outright death is detected.  Must comfortably exceed the
+        slowest legitimate env step.
+    max_worker_restarts:
+        Per-worker restart budget under ``on_worker_failure="restart"``; the
+        budget is per worker *slot*, not global, so one flaky shard cannot
+        starve the others.
+    restart_backoff_s:
+        Base of the exponential backoff slept before respawning
+        (``restart_backoff_s * 2**(attempt-1)``, capped at 2 s).
     """
 
     def __init__(
@@ -177,9 +215,25 @@ class AsyncVectorEnv(VectorEnv):
         seed: Optional[int] = None,
         max_pms: Optional[int] = None,
         max_vms: Optional[int] = None,
+        on_worker_failure: str = "raise",
+        worker_timeout_s: Optional[float] = None,
+        max_worker_restarts: int = 2,
+        restart_backoff_s: float = 0.05,
     ) -> None:
         if not env_fns:
             raise ValueError("need at least one environment factory")
+        if on_worker_failure not in ("raise", "restart"):
+            raise ValueError(
+                f"on_worker_failure must be 'raise' or 'restart', got {on_worker_failure!r}"
+            )
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be positive (or None to disable)")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must not be negative")
+        self.on_worker_failure = on_worker_failure
+        self.worker_timeout_s = worker_timeout_s
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff_s = restart_backoff_s
         self.num_envs = len(env_fns)
         if num_workers is None:
             num_workers = self.num_envs
@@ -191,6 +245,9 @@ class AsyncVectorEnv(VectorEnv):
             start_method = "fork" if "fork" in available else "spawn"
         self.start_method = start_method
         ctx = multiprocessing.get_context(start_method)
+        self._ctx = ctx
+        self._env_fns = list(env_fns)
+        self._seed = seed
 
         # Probe one environment in-parent to size the shared layout (unless
         # explicit capacities cover it already).
@@ -218,34 +275,25 @@ class AsyncVectorEnv(VectorEnv):
         for worker_index, shard in enumerate(self._shards):
             self._env_worker[list(shard)] = worker_index
 
-        self._pipes = []
-        self._processes = []
+        self._pipes: List = [None] * self.num_workers
+        self._processes: List = [None] * self.num_workers
         self._closed = False
+        #: Last command sent to each worker — what a restart must recover.
+        self._last_sent: List[Optional[Tuple[str, object]]] = [None] * self.num_workers
+        self._restarts = [0] * self.num_workers
+        #: Supervision (and the reply timeout) engages only after
+        #: construction: a factory that cannot build its environments will
+        #: not get better by respawning, and building many envs can
+        #: legitimately outlast a step-scaled timeout.
+        self._constructed = False
         try:
-            for worker_index, shard in enumerate(self._shards):
-                parent_pipe, child_pipe = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker,
-                    name=f"repro-async-env-{worker_index}",
-                    args=(
-                        worker_index,
-                        list(shard),
-                        [env_fns[index] for index in shard],
-                        child_pipe,
-                        parent_pipe,
-                        self._buffers,
-                        seed,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                child_pipe.close()
-                self._pipes.append(parent_pipe)
-                self._processes.append(process)
+            for worker_index in range(self.num_workers):
+                self._spawn_worker(worker_index)
             self._drain()  # wait for every worker's construction ack
         except Exception:
             self.close(terminate=True)
             raise
+        self._constructed = True
 
     # ------------------------------------------------------------------ #
     # Protocol methods
@@ -258,8 +306,9 @@ class AsyncVectorEnv(VectorEnv):
     def step(self, actions: Sequence) -> Tuple[List, np.ndarray, np.ndarray, List]:
         if len(actions) != self.num_envs:
             raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
-        for pipe, shard in zip(self._pipes, self._shards):
-            pipe.send(("step", [actions[index] for index in shard]))
+        self._assert_open()
+        for worker_index, shard in enumerate(self._shards):
+            self._send(worker_index, "step", [actions[index] for index in shard])
         info_shards = self._drain()
         observations = [
             self._buffers.read_observation(slot) for slot in range(self.num_envs)
@@ -285,8 +334,11 @@ class AsyncVectorEnv(VectorEnv):
             raise ValueError(
                 f"expected {self.num_envs} vm indices, got {len(vm_indices)}"
             )
-        for pipe, shard in zip(self._pipes, self._shards):
-            pipe.send(("pm_mask", [int(vm_indices[index]) for index in shard]))
+        self._assert_open()
+        for worker_index, shard in enumerate(self._shards):
+            self._send(
+                worker_index, "pm_mask", [int(vm_indices[index]) for index in shard]
+            )
 
         def fetch() -> np.ndarray:
             self._drain()
@@ -299,7 +351,8 @@ class AsyncVectorEnv(VectorEnv):
             raise IndexError(f"env index {index} out of range")
         worker_index = int(self._env_worker[index])
         local_index = index - self._shards[worker_index].start
-        self._pipes[worker_index].send(("pm_mask_one", (local_index, int(vm_index))))
+        self._assert_open()
+        self._send(worker_index, "pm_mask_one", (local_index, int(vm_index)))
         self._receive(worker_index)
         return self._buffers.read_pm_mask(index)
 
@@ -328,35 +381,52 @@ class AsyncVectorEnv(VectorEnv):
         self._drain()
 
     def close(self, terminate: bool = False, timeout: float = 5.0) -> None:
-        """Shut the worker pool down (idempotent).
+        """Shut the worker pool down (idempotent, bounded time).
 
-        Sends a ``close`` command, joins with ``timeout`` and terminates any
+        Sends a ``close`` command to every *live* worker, waits up to
+        ``timeout`` total for the acks, then joins and finally SIGKILLs any
         straggler; with ``terminate=True`` workers are killed immediately
-        (used when tearing down after an error).
+        (used when tearing down after an error).  Dead workers — including a
+        SIGKILLed worker whose pipe is half-closed — are skipped, so a prior
+        crash can never hang ``close``.
         """
         if self._closed:
             return
         self._closed = True
         if not terminate:
-            for pipe in self._pipes:
+            notified = []
+            for worker_index, (pipe, process) in enumerate(
+                zip(self._pipes, self._processes)
+            ):
+                if pipe is None or process is None or not process.is_alive():
+                    continue
                 try:
                     pipe.send(("close", None))
+                    notified.append(worker_index)
                 except (BrokenPipeError, OSError):
                     pass
-            for pipe in self._pipes:
+            # One shared deadline for all acks: a wedged worker costs at most
+            # ``timeout`` once, not per pipe.
+            deadline = time.monotonic() + timeout
+            for worker_index in notified:
+                remaining = max(deadline - time.monotonic(), 0.0)
                 try:
-                    if pipe.poll(timeout):
-                        pipe.recv()
+                    if self._pipes[worker_index].poll(remaining):
+                        self._pipes[worker_index].recv()
                 except (EOFError, OSError):
                     pass
         for process in self._processes:
+            if process is None:
+                continue
             if terminate and process.is_alive():
                 process.terminate()
             process.join(timeout)
             if process.is_alive():
-                process.terminate()
+                process.kill()
                 process.join(timeout)
         for pipe in self._pipes:
+            if pipe is None:
+                continue
             try:
                 pipe.close()
             except OSError:
@@ -368,13 +438,32 @@ class AsyncVectorEnv(VectorEnv):
         except Exception:
             pass
 
+    def supervisor_stats(self) -> Dict[str, object]:
+        """Restart bookkeeping: total and per-worker restart counts."""
+        return {
+            "policy": self.on_worker_failure,
+            "restarts": int(sum(self._restarts)),
+            "restarts_per_worker": list(self._restarts),
+            "max_worker_restarts": self.max_worker_restarts,
+        }
+
     # ------------------------------------------------------------------ #
     # Exchange plumbing
     # ------------------------------------------------------------------ #
+    def _send(self, worker_index: int, command: str, payload=None) -> None:
+        """Send one command, recording it as the worker's in-flight exchange."""
+        self._last_sent[worker_index] = (command, payload)
+        try:
+            self._pipes[worker_index].send((command, payload))
+        except (BrokenPipeError, OSError):
+            # The worker is already gone; the failure surfaces (and is
+            # handled) at the matching _recv, keeping the exchange lock-step.
+            pass
+
     def _broadcast(self, command: str, payload=None) -> None:
         self._assert_open()
-        for pipe in self._pipes:
-            pipe.send((command, payload))
+        for worker_index in range(self.num_workers):
+            self._send(worker_index, command, payload)
 
     def _drain(self) -> List:
         """Collect one reply per worker (in worker order); raise on errors."""
@@ -397,17 +486,168 @@ class AsyncVectorEnv(VectorEnv):
         return payload
 
     def _recv(self, worker_index: int):
+        """One reply from ``worker_index``, applying the supervision policy.
+
+        Death (closed pipe) and — when ``worker_timeout_s`` is set — silence
+        are routed to :meth:`_handle_failure`, which either restarts the
+        shard and synthesizes/recovers the in-flight exchange, or returns the
+        historical ``("error", ...)`` reply.
+        """
         self._assert_open()
+        pipe = self._pipes[worker_index]
         try:
-            return self._pipes[worker_index].recv()
+            if self._supervised_timeout() is not None:
+                if not pipe.poll(self._supervised_timeout()):
+                    return self._handle_failure(
+                        worker_index,
+                        f"no reply within worker_timeout_s={self.worker_timeout_s}",
+                        hung=True,
+                    )
+            return pipe.recv()
         except (EOFError, OSError):
             process = self._processes[worker_index]
+            # The EOF races ahead of process teardown: reap briefly so the
+            # report carries the exit code (e.g. an injected crash's) rather
+            # than a generic "pipe closed".
+            process.join(timeout=1.0)
             detail = (
                 f"exit code {process.exitcode}"
-                if not process.is_alive()
+                if process.exitcode is not None
                 else "pipe closed unexpectedly"
             )
-            return ("error", (worker_index, f"worker died without replying ({detail})"))
+            return self._handle_failure(worker_index, detail)
+
+    def _supervised_timeout(self) -> Optional[float]:
+        # Construction acks (the first _drain) are exempt from the timeout.
+        return self.worker_timeout_s if self._constructed else None
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, worker_index: int) -> None:
+        """Create (or replace) the process serving ``worker_index``'s shard."""
+        shard = self._shards[worker_index]
+        parent_pipe, child_pipe = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker,
+            name=f"repro-async-env-{worker_index}",
+            args=(
+                worker_index,
+                list(shard),
+                [self._env_fns[index] for index in shard],
+                child_pipe,
+                parent_pipe,
+                self._buffers,
+                self._seed,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_pipe.close()
+        self._pipes[worker_index] = parent_pipe
+        self._processes[worker_index] = process
+
+    def _kill_worker(self, worker_index: int, timeout: float = 5.0) -> None:
+        """Tear a (possibly hung) worker down without blocking on it."""
+        process = self._processes[worker_index]
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout)
+        pipe = self._pipes[worker_index]
+        if pipe is not None:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+
+    def _handle_failure(self, worker_index: int, detail: str, hung: bool = False):
+        """Apply the failure policy to a dead/hung worker; return its reply."""
+        reason = (
+            f"worker hung ({detail})" if hung else f"worker died without replying ({detail})"
+        )
+        supervised = self.on_worker_failure == "restart" and self._constructed
+        restartable = supervised and self._restarts[worker_index] < self.max_worker_restarts
+        if not restartable:
+            # A hung worker must not outlive the error: kill it so close()
+            # and process teardown stay bounded.
+            self._kill_worker(worker_index)
+            if supervised:
+                reason += (
+                    f"; restart budget exhausted "
+                    f"({self._restarts[worker_index]}/{self.max_worker_restarts})"
+                )
+            return ("error", (worker_index, reason))
+        return self._restart_worker(worker_index, reason)
+
+    #: Upper bound on the respawn backoff sleep.
+    _MAX_BACKOFF_S = 2.0
+    #: How long a *replacement* worker gets to construct + reset its shard
+    #: before the restart itself counts as failed (generous: construction is
+    #: factory-bound, not step-bound).
+    _RESTART_ACK_TIMEOUT_S = 60.0
+
+    def _restart_worker(self, worker_index: int, reason: str):
+        """Respawn a failed worker's shard and resume the in-flight exchange.
+
+        The replacement rebuilds its environments from the original
+        factories, re-seeds them with the startup rule (``seed + env_index``)
+        and resets them, refilling the shard's shared-memory observation
+        slots.  The interrupted command is then recovered:
+
+        * ``step`` — the parent synthesizes the shard's result (reward 0.0,
+          ``done=True``, ``info["worker_restarted"]=True``): the episodes the
+          failure destroyed end, and auto-reset hands the trainer the fresh
+          episodes' first observations.
+        * ``reset`` — already satisfied by the restart reset.
+        * anything else (masks, ``call``, ``getattr``, ``seed``) — re-issued
+          to the replacement; its reply answers the original exchange.
+        """
+        self._restarts[worker_index] += 1
+        attempt = self._restarts[worker_index]
+        self._kill_worker(worker_index)
+        time.sleep(min(self.restart_backoff_s * (2 ** (attempt - 1)), self._MAX_BACKOFF_S))
+        self._spawn_worker(worker_index)
+        pipe = self._pipes[worker_index]
+
+        def ack(stage: str):
+            try:
+                if not pipe.poll(self._RESTART_ACK_TIMEOUT_S):
+                    raise EOFError(f"no {stage} ack")
+                kind, payload = pipe.recv()
+            except (EOFError, OSError) as exc:
+                self._kill_worker(worker_index)
+                raise AsyncVectorEnvError(
+                    f"worker {worker_index} failed ({reason}) and its replacement "
+                    f"did not come up: {stage} failed ({exc})"
+                ) from None
+            if kind == "error":
+                self._kill_worker(worker_index)
+                raise AsyncVectorEnvError(
+                    f"worker {worker_index} failed ({reason}) and its replacement "
+                    f"errored during {stage}:\n{payload[1]}"
+                )
+            return payload
+
+        ack("construction")
+        pipe.send(("reset", None))
+        ack("shard reset")
+
+        command, payload = self._last_sent[worker_index] or (None, None)
+        shard = self._shards[worker_index]
+        if command == "step":
+            for slot in shard:
+                self._buffers.mark_restarted(slot)
+            infos = [
+                {"worker_restarted": True, "worker_restarts": attempt}
+                for _ in shard
+            ]
+            return ("ok", infos)
+        if command in (None, "reset"):
+            return ("ok", None)
+        # Re-issue the interrupted command against the freshly-reset shard;
+        # a repeat failure re-enters the policy (bounded by the budget).
+        self._send(worker_index, command, payload)
+        return self._recv(worker_index)
 
     def _raise(self, errors: Sequence[Tuple[int, str]]) -> None:
         details = "\n".join(

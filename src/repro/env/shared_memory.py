@@ -157,6 +157,20 @@ class SharedObservationBuffers:
         views["rewards"][slot] = reward
         views["dones"][slot] = done
 
+    def mark_restarted(self, slot: int) -> None:
+        """Parent-side: synthesize the step result of a restarted worker's slot.
+
+        The supervisor calls this after respawning a worker that died mid
+        ``step`` exchange: the destroyed episode ends (``done=True``) with a
+        neutral reward, and the replacement worker's reset has already
+        refilled the slot's observation fields.  Safe for the parent to write
+        because the failed worker is dead and the replacement only writes
+        during commands it has been sent.
+        """
+        views = self.views
+        views["rewards"][slot] = 0.0
+        views["dones"][slot] = True
+
     def write_pm_mask(self, slot: int, mask: np.ndarray) -> None:
         self.views["pm_masks"][slot, : mask.shape[0]] = mask
 

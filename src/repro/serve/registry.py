@@ -8,7 +8,9 @@ wiring for both.  :class:`Planner` is the single serving-facing contract:
 * ``capabilities`` — feature flags the service keys its dispatch on
   (``"batch"`` enables micro-batching, ``"objective"`` means the planner
   optimizes the requested objective rather than only evaluating under it,
-  ``"sampled"`` means ``greedy=False`` requests are meaningful),
+  ``"sampled"`` means ``greedy=False`` requests are meaningful,
+  ``"deadline"`` means ``plan_batch`` honors a ``deadline_s`` budget and
+  returns best-effort partial plans when it runs out),
 * ``plan()`` — one snapshot in, one :class:`ReschedulingResult` out,
 * ``plan_batch()`` — many snapshots with shared model forwards; the default
   implementation just loops ``plan``.
@@ -131,7 +133,7 @@ class RLPlanner(Planner):
     best), which is inherently per-request.
     """
 
-    capabilities = frozenset({"batch", "objective", "sampled", "step_cache"})
+    capabilities = frozenset({"batch", "objective", "sampled", "step_cache", "deadline"})
     description = "two-stage deep-RL rescheduler (the paper's system)"
 
     def __init__(self, agent: VMR2LAgent) -> None:
@@ -178,6 +180,7 @@ class RLPlanner(Planner):
         seed: Optional[int] = None,
         max_active: Optional[int] = None,
         step_cache: bool = True,
+        deadline_s: Optional[float] = None,
     ) -> List[ReschedulingResult]:
         if not greedy:
             return super().plan_batch(
@@ -191,6 +194,7 @@ class RLPlanner(Planner):
             objective=objective,
             max_active=max_active,
             use_step_cache=step_cache,
+            deadline_s=deadline_s,
         )
 
 

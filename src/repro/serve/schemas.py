@@ -11,7 +11,8 @@ benchmarks — speaks this one dialect:
   vs. skipped migrations, end-to-end latency, queue wait, micro-batch size).
 * :class:`PlanError` is the structured failure envelope; its ``code`` is a
   stable machine-readable string (``invalid_request``, ``unknown_planner``,
-  ``unknown_objective``, ``deadline_exceeded``, ``internal_error``).
+  ``unknown_objective``, ``deadline_exceeded``, ``service_unavailable``,
+  ``internal_error``).
 
 All three serialize to/from plain dicts and JSON.  ``version`` stamps the
 schema revision so clients can negotiate forward-compatible changes.
@@ -188,6 +189,11 @@ class PlanResponse:
     ``queue_ms`` (time spent waiting for a micro-batch slot), ``batch_size``
     (number of requests that shared the model forward) and ``inference_ms``
     (planner compute time).
+
+    ``partial=True`` marks a best-effort plan cut short by the request's
+    ``deadline_ms`` budget: every migration in it is valid and applicable,
+    but the planner stopped before exhausting the migration limit (see
+    ``ServiceConfig.deadline_policy``).
     """
 
     request_id: str
@@ -197,6 +203,7 @@ class PlanResponse:
     final_objective: float = 0.0
     num_applied: int = 0
     num_skipped: int = 0
+    partial: bool = False
     metrics: Dict = field(default_factory=dict)
     info: Dict = field(default_factory=dict)
     version: int = SCHEMA_VERSION
@@ -250,6 +257,7 @@ class PlanResponse:
             "num_migrations": self.num_migrations,
             "num_applied": self.num_applied,
             "num_skipped": self.num_skipped,
+            "partial": self.partial,
             "metrics": dict(self.metrics),
             "info": dict(self.info),
         }
@@ -264,6 +272,7 @@ class PlanResponse:
             final_objective=float(payload.get("final_objective", 0.0)),
             num_applied=int(payload.get("num_applied", 0)),
             num_skipped=int(payload.get("num_skipped", 0)),
+            partial=bool(payload.get("partial", False)),
             metrics=dict(payload.get("metrics", {})),
             info=dict(payload.get("info", {})),
             version=int(payload.get("version", SCHEMA_VERSION)),

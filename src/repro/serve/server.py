@@ -5,7 +5,7 @@ as JSON over HTTP — no third-party dependencies:
 
 * ``POST /v1/plan`` — body is a :class:`PlanRequest` JSON object; the reply is
   the matching :class:`PlanResponse` (HTTP 200) or :class:`PlanError`
-  (HTTP 400/404/500 by error code).
+  (HTTP 400/404/408/500/503 by error code).
 * ``GET /v1/planners`` — the registry listing (names, capabilities).
 * ``GET /healthz`` — liveness probe with service statistics.
 
@@ -13,12 +13,18 @@ Handler threads enqueue into the shared :class:`ReschedulingService`; its
 single worker thread micro-batches concurrent requests onto the vectorized
 policy path, so throughput *improves* under concurrency instead of degrading
 through lock contention.
+
+Every failure — malformed JSON, missing/oversized bodies, undecodable bytes,
+planner bugs, a wedged service — maps to a stable JSON :class:`PlanError`
+body with a machine-readable ``code``; a traceback never crosses the HTTP
+boundary.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -32,9 +38,11 @@ _ERROR_STATUS = {
     "deadline_exceeded": 408,
     "unknown_planner": 404,
     "internal_error": 500,
+    "service_unavailable": 503,
 }
 
 #: Largest accepted request body (64 MiB) — snapshots are large but bounded.
+#: Per-server override via ``PlanningServer(max_body_bytes=...)``.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
@@ -46,15 +54,26 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802  (http.server naming)
-        if self.path in ("/healthz", "/health"):
-            self._send_json(200, {"status": "ok", "stats": self.server.service.stats()})
-        elif self.path == "/v1/planners":
-            self._send_json(200, {"planners": self.server.service.registry.describe()})
-        else:
-            self._send_json(404, {"ok": False, "code": "not_found",
-                                  "message": f"unknown path {self.path!r}"})
+        try:
+            if self.path in ("/healthz", "/health"):
+                self._send_json(200, {"status": "ok", "stats": self.server.service.stats()})
+            elif self.path == "/v1/planners":
+                self._send_json(200, {"planners": self.server.service.registry.describe()})
+            else:
+                self._send_json(404, {"ok": False, "code": "not_found",
+                                      "message": f"unknown path {self.path!r}"})
+        except Exception:
+            self._send_internal_error()
 
     def do_POST(self) -> None:  # noqa: N802
+        # The whole handler is fenced: a bug anywhere below must surface as a
+        # stable JSON error body, never a traceback page or a dropped socket.
+        try:
+            self._handle_post()
+        except Exception:
+            self._send_internal_error()
+
+    def _handle_post(self) -> None:
         if self.path != "/v1/plan":
             self._send_json(404, {"ok": False, "code": "not_found",
                                   "message": f"unknown path {self.path!r}"})
@@ -63,18 +82,43 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = -1
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(400, PlanError("", "invalid_request",
-                                           "missing or oversized request body").to_dict())
+        max_body = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
+        if length <= 0:
+            self._send_json(400, PlanError(
+                "", "invalid_request",
+                "missing or empty request body (Content-Length required)").to_dict())
+            return
+        if length > max_body:
+            self._send_json(400, PlanError(
+                "", "invalid_request",
+                f"request body of {length} bytes exceeds the server's "
+                f"{max_body}-byte limit").to_dict())
             return
         body = self.rfile.read(length)
         try:
-            request = PlanRequest.from_json(body.decode("utf-8"))
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            self._send_json(400, PlanError(
+                "", "invalid_request", f"request body is not UTF-8: {exc}").to_dict())
+            return
+        try:
+            request = PlanRequest.from_json(text)
         except SchemaError as exc:
             self._send_json(_ERROR_STATUS[exc.code],
                             PlanError("", exc.code, str(exc)).to_dict())
             return
-        reply = self.server.service.plan(request, timeout=self.server.request_timeout_s)
+        try:
+            reply = self.server.service.plan(request, timeout=self.server.request_timeout_s)
+        except FutureTimeoutError:
+            self._send_json(503, PlanError(
+                request.request_id, "service_unavailable",
+                f"no reply within the server's {self.server.request_timeout_s:.0f}s "
+                "request timeout").to_dict())
+            return
+        except RuntimeError as exc:  # service not started / shutting down
+            self._send_json(503, PlanError(
+                request.request_id, "service_unavailable", str(exc)).to_dict())
+            return
         status = 200 if reply.ok else _ERROR_STATUS.get(reply.code, 500)
         self._send_json(status, reply.to_dict())
 
@@ -86,6 +130,14 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_internal_error(self) -> None:
+        """Last-resort stable error body — never leaks a traceback."""
+        try:
+            self._send_json(500, PlanError(
+                "", "internal_error", "internal server error").to_dict())
+        except Exception:
+            pass  # client already gone; nothing useful left to send
 
     def log_message(self, format: str, *args) -> None:  # quiet by default
         if self.server.verbose:
@@ -102,12 +154,14 @@ class PlanningServer:
         port: int = 8731,
         request_timeout_s: float = 300.0,
         verbose: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         self.service = service
         self.httpd = ThreadingHTTPServer((host, port), PlanningRequestHandler)
         self.httpd.service = service
         self.httpd.request_timeout_s = request_timeout_s
         self.httpd.verbose = verbose
+        self.httpd.max_body_bytes = max_body_bytes
         self._thread: Optional[threading.Thread] = None
 
     @property

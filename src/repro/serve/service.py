@@ -19,6 +19,17 @@ HTTP server, tests, benchmarks).  It has two entry modes:
 Every response carries ``latency_ms`` (receive → respond), ``queue_ms`` (wait
 for a batch slot), ``batch_size`` and ``inference_ms``, plus the plan-quality
 metrics (initial/final objective under the requested objective function).
+
+Overload and deadlines are first-class: ``max_queue_depth`` sheds work at
+admission (``service_unavailable`` before any compute is spent),
+``request.deadline_ms`` is enforced both at dequeue AND inside deadline-capable
+planners (the remaining budget is threaded into ``plan_batch`` so rollouts stop
+mid-plan), and ``deadline_policy`` decides what an expired budget yields: the
+best partial plan (``"partial"``, default), a stable 408-style
+``deadline_exceeded`` error (``"error"``), or a re-run on a fast fallback
+baseline planner (``"fallback"`` + ``fallback_planner``).  :meth:`stop` fails
+any still-queued request with ``service_unavailable`` so no caller blocks on a
+future that will never resolve.
 """
 
 from __future__ import annotations
@@ -70,6 +81,23 @@ class ServiceConfig:
     #: argmax ties (see ``repro.core.step_cache``); disable to A/B or to rule
     #: the cache out while debugging a plan difference.
     rl_step_cache: bool = True
+    #: Admission control: with ``> 0``, a request arriving while this many are
+    #: already queued is shed immediately with a ``service_unavailable`` error
+    #: instead of growing the queue without bound.  ``0`` disables shedding.
+    max_queue_depth: int = 0
+    #: What a deadline-capable planner's *partial* result (budget ran out
+    #: mid-plan) becomes: ``"partial"`` returns the best-effort plan with
+    #: ``PlanResponse.partial=True``; ``"error"`` converts it into a stable
+    #: ``deadline_exceeded`` error (HTTP 408); ``"fallback"`` re-plans the
+    #: request on ``fallback_planner`` (graceful degradation to a fast
+    #: baseline — the response notes ``info["degraded_from"/"degraded_to"]``).
+    deadline_policy: str = "partial"
+    #: Registry key of the fast baseline used by ``deadline_policy="fallback"``
+    #: (e.g. ``"ha"``).  Unset falls back to returning the partial plan.
+    fallback_planner: Optional[str] = None
+    #: Upper bound on one pooled plan-evaluation batch; past this the pool is
+    #: presumed wedged, torn down, and the batch re-runs inline.
+    eval_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -78,6 +106,15 @@ class ServiceConfig:
             raise ValueError("max_wait_ms must not be negative")
         if self.eval_workers < 0:
             raise ValueError("eval_workers must not be negative")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must not be negative")
+        if self.deadline_policy not in ("partial", "error", "fallback"):
+            raise ValueError(
+                "deadline_policy must be one of 'partial', 'error', 'fallback'; "
+                f"got {self.deadline_policy!r}"
+            )
+        if self.eval_timeout_s <= 0:
+            raise ValueError("eval_timeout_s must be positive")
 
 
 @dataclass
@@ -110,6 +147,9 @@ class ReschedulingService:
             "errors": 0,
             "batches": 0,
             "batched_requests": 0,
+            "shed": 0,
+            "partials": 0,
+            "degraded": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -128,7 +168,7 @@ class ReschedulingService:
         """
         received = time.perf_counter()
         replies: List[Optional[Reply]] = [None] * len(requests)
-        prepared: List[Tuple[int, PlanRequest, Planner, ClusterState, object]] = []
+        prepared: List[Tuple] = []
         for index, request in enumerate(requests):
             try:
                 planner, state, objective = self._prepare(request)
@@ -141,7 +181,12 @@ class ReschedulingService:
                     request, "internal_error", f"request preparation failed: {exc}"
                 )
             else:
-                prepared.append((index, request, planner, state, objective))
+                deadline_at = (
+                    received + float(request.deadline_ms) / 1e3
+                    if request.deadline_ms is not None
+                    else None
+                )
+                prepared.append((index, request, planner, state, objective, deadline_at))
 
         for group in self._group(prepared):
             self._dispatch(group, replies, received, queue_ms=0.0)
@@ -166,12 +211,31 @@ class ReschedulingService:
         self._worker.start()
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop the worker; queued-but-undispatched requests fail, not hang.
+
+        Any request still in the queue when the worker exits resolves to a
+        ``service_unavailable`` :class:`PlanError`, so threads blocked on
+        ``submit(...).result()`` always wake up.
+        """
         if self._running:
             self._running = False
             self._queue.put(None)  # wake the worker
             if self._worker is not None:
                 self._worker.join(timeout=timeout)
                 self._worker = None
+        while True:  # drain whatever the worker never dispatched
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None and not item.future.done():
+                item.future.set_result(
+                    self._error(
+                        item.request,
+                        "service_unavailable",
+                        "service stopped before the request was dispatched",
+                    )
+                )
         with self._eval_pool_lock:
             if self._eval_pool is not None:
                 self._eval_pool.terminate()
@@ -179,10 +243,27 @@ class ReschedulingService:
                 self._eval_pool = None
 
     def submit(self, request: PlanRequest) -> "Future[Reply]":
-        """Enqueue a request for the batching worker; resolves to a reply."""
+        """Enqueue a request for the batching worker; resolves to a reply.
+
+        With ``max_queue_depth`` configured, a request arriving over the bound
+        is shed: its future resolves immediately to a ``service_unavailable``
+        error and the queue never grows.
+        """
         if not self._running:
             raise RuntimeError("service is not started; call start() first")
         future: "Future[Reply]" = Future()
+        depth = self.config.max_queue_depth
+        if depth > 0 and self._queue.qsize() >= depth:
+            with self._stats_lock:
+                self._stats["shed"] += 1
+            future.set_result(
+                self._error(
+                    request,
+                    "service_unavailable",
+                    f"queue depth is at the admission bound ({depth}); retry later",
+                )
+            )
+            return future
         self._queue.put(_Pending(request=request, future=future, enqueued_at=time.perf_counter()))
         return future
 
@@ -215,15 +296,18 @@ class ReschedulingService:
         """Split prepared requests into dispatch groups.
 
         Greedy requests for a ``batch``-capable planner with the same
-        objective spec go to that planner's ``plan_batch`` as one group (the
-        planner runs up to ``max_batch_size`` episodes concurrently,
-        continuously admitting queued snapshots into freed slots); everything
-        else forms singleton groups.
+        objective spec AND the same deadline budget go to that planner's
+        ``plan_batch`` as one group (the planner runs up to ``max_batch_size``
+        episodes concurrently, continuously admitting queued snapshots into
+        freed slots); everything else forms singleton groups.  Keying on
+        ``deadline_ms`` keeps one tight deadline from truncating a whole
+        micro-batch of unconstrained requests — deadline-homogeneous traffic
+        still batches fully.
         """
         groups: List[List] = []
         batchable: Dict[Tuple, List] = {}
         for item in prepared:
-            _, request, planner, _, _ = item
+            _, request, planner, _, _, _ = item
             if (
                 self.config.micro_batching
                 and request.greedy
@@ -233,6 +317,7 @@ class ReschedulingService:
                     id(planner),
                     request.objective,
                     tuple(sorted(request.objective_params.items())),
+                    request.deadline_ms,
                 )
                 batchable.setdefault(key, []).append(item)
             else:
@@ -249,19 +334,41 @@ class ReschedulingService:
     ) -> None:
         """Run one planner call for a group and fill the reply slots."""
         planner: Planner = group[0][2]
-        states = [state for _, _, _, state, _ in group]
-        limits = [request.migration_limit for _, request, _, _, _ in group]
+        states = [state for _, _, _, state, _, _ in group]
+        limits = [request.migration_limit for _, request, _, _, _, _ in group]
         objective = group[0][4]
         greedy = group[0][1].greedy
         seed = group[0][1].seed
+        # The group is deadline-homogeneous (see _group); members may differ
+        # by queue wait, so the earliest absolute deadline binds the call.
+        deadlines = [deadline_at for *_, deadline_at in group if deadline_at is not None]
+        deadline_s: Optional[float] = None
+        if deadlines:
+            deadline_s = min(deadlines) - time.perf_counter()
+            if deadline_s <= 0:
+                for index, request, *_ in group:
+                    replies[index] = self._error(
+                        request,
+                        "deadline_exceeded",
+                        "deadline expired before the planner was dispatched",
+                    )
+                return
+        # Deadline-capable planners take the remaining budget and stop their
+        # greedy rollouts mid-plan; others run to completion (the response
+        # still reports metrics["deadline_exceeded"] honestly).
+        supports_deadline = (
+            deadline_s is not None and greedy and "deadline" in planner.capabilities
+        )
         start = time.perf_counter()
         try:
-            if len(group) > 1:
+            if len(group) > 1 or supports_deadline:
                 extra = (
                     {"step_cache": self.config.rl_step_cache}
                     if "step_cache" in planner.capabilities
                     else {}
                 )
+                if supports_deadline:
+                    extra["deadline_s"] = deadline_s
                 results = planner.plan_batch(
                     states,
                     limits,
@@ -291,15 +398,49 @@ class ReschedulingService:
         # width); a group larger than max_batch_size streams through that
         # many slots via continuous admission.
         width = min(len(group), self.config.max_batch_size) if len(group) > 1 else 1
+
+        # Apply the deadline policy to partial results BEFORE plan evaluation,
+        # so fallback plans are evaluated (and responded) like any other.
+        outstanding: List[Tuple] = []  # (group item, result, partial flag)
+        for item, result in zip(group, results):
+            index, request = item[0], item[1]
+            if not bool(result.info.get("partial", False)):
+                outstanding.append((item, result, False))
+                continue
+            with self._stats_lock:
+                self._stats["partials"] += 1
+            policy = self.config.deadline_policy
+            if policy == "error":
+                replies[index] = self._error(
+                    request,
+                    "deadline_exceeded",
+                    f"deadline of {request.deadline_ms} ms expired after "
+                    f"{len(result.plan)} of {request.migration_limit} migrations",
+                )
+                continue
+            if policy == "fallback" and self.config.fallback_planner:
+                try:
+                    fallback = self.registry.get(self.config.fallback_planner)
+                    degraded = fallback.plan(
+                        item[3], request.migration_limit, objective=item[4]
+                    )
+                except Exception:
+                    # A broken fallback must not lose the partial plan we have.
+                    outstanding.append((item, result, True))
+                    continue
+                degraded.info["degraded_from"] = planner.name
+                degraded.info["degraded_to"] = fallback.name
+                with self._stats_lock:
+                    self._stats["degraded"] += 1
+                outstanding.append((item, degraded, False))
+                continue
+            outstanding.append((item, result, True))
+
         evaluations = self._evaluate_group(
-            [
-                (state, result, request_objective)
-                for (_, _, _, state, request_objective), result in zip(group, results)
-            ]
+            [(item[3], result, item[4]) for item, result, _ in outstanding]
         )
-        for (index, request, _, state, request_objective), result, evaluation in zip(
-            group, results, evaluations
-        ):
+        for (item, result, partial), evaluation in zip(outstanding, evaluations):
+            index, request, _, state, request_objective, _ = item
             replies[index] = self._respond(
                 request,
                 state,
@@ -310,11 +451,8 @@ class ReschedulingService:
                 queue_ms=queue_ms,
                 inference_ms=inference_ms,
                 batch_size=width,
+                partial=partial,
             )
-
-    #: Upper bound on one pooled evaluation batch; past this the pool is
-    #: presumed wedged, torn down and the batch re-runs inline.
-    _EVAL_POOL_TIMEOUT_S = 60.0
 
     def _evaluate_group(self, payloads: List[Tuple]) -> List[PlanEvaluation]:
         """Replay each group member's plan, optionally on the worker pool.
@@ -329,7 +467,7 @@ class ReschedulingService:
             try:
                 pool = self._ensure_eval_pool()
                 return pool.map_async(_evaluate_plan_task, payloads).get(
-                    timeout=self._EVAL_POOL_TIMEOUT_S
+                    timeout=self.config.eval_timeout_s
                 )
             except Exception:
                 self._discard_eval_pool()  # fall back to inline evaluation
@@ -366,6 +504,7 @@ class ReschedulingService:
         queue_ms: float,
         inference_ms: float,
         batch_size: int,
+        partial: bool = False,
     ) -> PlanResponse:
         metrics = {
             "latency_ms": latency_ms,
@@ -387,6 +526,7 @@ class ReschedulingService:
             final_objective=evaluation.final_objective,
             num_applied=evaluation.num_applied,
             num_skipped=evaluation.num_skipped,
+            partial=partial,
             metrics=metrics,
             info=dict(result.info),
         )
@@ -443,6 +583,7 @@ class ReschedulingService:
                 # Validate (via _prepare) BEFORE touching deadline_ms: only a
                 # validated request is known to carry a numeric deadline.
                 planner, state, objective = self._prepare(request)
+                deadline_at = None
                 if request.deadline_ms is not None:
                     waited_ms = (received - item.enqueued_at) * 1e3
                     if waited_ms > float(request.deadline_ms):
@@ -451,6 +592,8 @@ class ReschedulingService:
                             f"deadline of {request.deadline_ms} ms",
                             code="deadline_exceeded",
                         )
+                    # The budget is measured from service receive (enqueue).
+                    deadline_at = item.enqueued_at + float(request.deadline_ms) / 1e3
             except SchemaError as exc:
                 replies[index] = self._error(request, exc.code, str(exc))
             except KeyError as exc:
@@ -460,7 +603,7 @@ class ReschedulingService:
                     request, "internal_error", f"request preparation failed: {exc}"
                 )
             else:
-                prepared.append((index, request, planner, state, objective))
+                prepared.append((index, request, planner, state, objective, deadline_at))
 
         for group in self._group(prepared):
             slot = group[0][0]

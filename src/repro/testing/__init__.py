@@ -1,0 +1,27 @@
+"""Test-support subsystems shipped with the library (fault injection)."""
+
+from .faults import (
+    CRASH_EXIT_CODE,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultyEnv,
+    FaultyPlanner,
+    faulty_factories,
+    kill_eval_pool_workers,
+    malformed_http_payloads,
+    oversized_body,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultyEnv",
+    "FaultyPlanner",
+    "faulty_factories",
+    "kill_eval_pool_workers",
+    "malformed_http_payloads",
+    "oversized_body",
+]

@@ -1,0 +1,51 @@
+"""StepCache degradation: a journal overflow must mean a fresh recompute,
+never a stale cache hit — plans stay identical to the no-cache path.
+
+The mutation journal of :class:`repro.cluster.soa.ClusterArrays` is capped at
+``JOURNAL_CAPACITY``; when it overflows, entries are dropped and
+``dirty_since`` answers ``None`` for pre-drop versions, forcing cache
+consumers to rebuild.  Shrinking the cap to a handful of entries makes every
+episode overflow within a step or two, exercising the fallback continuously.
+"""
+
+import pytest
+
+import repro.cluster.soa as soa
+from repro.cluster import ConstraintConfig
+from repro.core import VMR2LAgent
+from repro.datasets import ClusterSpec, SnapshotGenerator
+
+
+def snapshots(count, num_pms=6, seed=0):
+    spec = ClusterSpec(name="jo", num_pms=num_pms, target_utilization=0.7, best_fit_fraction=0.3)
+    generator = SnapshotGenerator(spec, seed=seed)
+    return [generator.generate() for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def agent():
+    return VMR2LAgent(constraint_config=ConstraintConfig(migration_limit=5), seed=0)
+
+
+def plans(results):
+    return [[m.as_tuple() for m in result.plan] for result in results]
+
+
+class TestJournalOverflowFallback:
+    def test_overflowing_journal_keeps_plans_identical_to_no_cache(self, agent, monkeypatch):
+        # Every mutation now overflows the journal almost immediately.
+        monkeypatch.setattr(soa, "JOURNAL_CAPACITY", 2)
+        states = snapshots(3)
+        cached = agent.plan_batch(states, migration_limits=4, greedy=True, use_step_cache=True)
+        fresh = agent.plan_batch(states, migration_limits=4, greedy=True, use_step_cache=False)
+        assert plans(cached) == plans(fresh)
+        assert all(len(plan) > 0 for plan in plans(cached)), "trivial plans prove nothing"
+
+    def test_overflow_mid_run_is_recoverable(self, agent, monkeypatch):
+        # Reference plans with the stock capacity, then replan with a cap so
+        # small it overflows mid-episode: results must not change.
+        states = snapshots(2, seed=5)
+        reference = agent.plan_batch(states, migration_limits=4, greedy=True, use_step_cache=True)
+        monkeypatch.setattr(soa, "JOURNAL_CAPACITY", 1)
+        overflowed = agent.plan_batch(states, migration_limits=4, greedy=True, use_step_cache=True)
+        assert plans(reference) == plans(overflowed)
