@@ -43,14 +43,18 @@ from repro.datasets import ClusterSpec, SnapshotGenerator
 from repro.env import AsyncVectorEnv, VMRescheduleEnv
 from repro.serve import (
     BaselinePlanner,
+    DefaultRegistryFactory,
+    FleetConfig,
     PlanRequest,
     PlannerRegistry,
+    ReplicaFleet,
     ReschedulingService,
+    RetryPolicy,
     RLPlanner,
     ServiceConfig,
 )
 from repro.baselines import FilteringHeuristic
-from repro.testing import FaultPlan, FaultyPlanner, faulty_factories
+from repro.testing import FaultPlan, FaultyPlanner, faulty_factories, kill_replica
 
 
 def _requests(num_requests: int, num_pms: int, migration_limit: int,
@@ -202,6 +206,101 @@ def _collect_segment(num_envs: int, crash_envs, seed: int = 0) -> dict:
     }
 
 
+def _fleet_config(num_replicas: int) -> FleetConfig:
+    return FleetConfig(
+        num_replicas=num_replicas,
+        start_method="fork",
+        heartbeat_interval_s=0.05,
+        supervise_interval_s=0.02,
+        restart_backoff_s=0.05,
+        retry=RetryPolicy(max_retries=3, backoff_s=0.05),
+    )
+
+
+def _fleet_saturation_sweep(requests, replica_counts) -> list:
+    """Offered-load saturation: all requests submitted at once per fleet size.
+
+    Each replica runs a full service over its own copy of the policy, so
+    throughput should scale with replicas until the submission path or the
+    host's cores saturate; p50/p99 come from the fleet's own per-request
+    latency window (submit -> terminal reply)."""
+    sweep = []
+    for num_replicas in replica_counts:
+        fleet = ReplicaFleet(DefaultRegistryFactory(), config=_fleet_config(num_replicas))
+        fleet.start(timeout=120.0)
+        try:
+            start = time.perf_counter()
+            futures = [fleet.submit(request) for request in requests]
+            replies = [future.result(timeout=300.0) for future in futures]
+            wall = time.perf_counter() - start
+            assert all(reply is not None for reply in replies)
+            num_ok = sum(1 for reply in replies if reply.ok)
+            latency = fleet.latency_percentiles()
+            stats = fleet.stats()
+            sweep.append({
+                "replicas": num_replicas,
+                "num_requests": len(requests),
+                "num_ok": num_ok,
+                "wall_seconds": wall,
+                "requests_per_s": len(requests) / wall,
+                "latency_ms_p50": latency["p50_ms"],
+                "latency_ms_p99": latency["p99_ms"],
+                "shed": stats["shed"],
+                "retried": stats["retried"],
+            })
+        finally:
+            fleet.stop()
+    return sweep
+
+
+def _fleet_kill_soak(requests) -> dict:
+    """Stream requests through a 2-replica fleet, SIGKILL one mid-stream.
+
+    The invariant is the chaos suite's: every submitted request resolves to
+    exactly one terminal reply, and with a survivor available the retry path
+    should make all of them successes."""
+    fleet = ReplicaFleet(DefaultRegistryFactory(), config=_fleet_config(2))
+    fleet.start(timeout=120.0)
+    try:
+        futures = []
+        kill_at = len(requests) // 3
+        killed_pid = None
+        for index, request in enumerate(requests):
+            futures.append(fleet.submit(request))
+            if index == kill_at:
+                killed_pid = kill_replica(fleet, 0)
+        replies = [future.result(timeout=300.0) for future in futures]
+        unresolved = [r for r in replies if r is None]
+        assert not unresolved, "kill soak dropped a reply"
+        stats = fleet.stats()
+        return {
+            "num_requests": len(requests),
+            "num_ok": sum(1 for reply in replies if reply.ok),
+            "killed_pid": killed_pid,
+            "retried": stats["retried"],
+            "replica_failures": stats["replica_failures"],
+            "restarts": stats["restarts"],
+            "errors": stats["errors"],
+        }
+    finally:
+        fleet.stop()
+
+
+def _fleet_segment(smoke: bool, migration_limit: int) -> dict:
+    num_requests = 12 if smoke else 48
+    replica_counts = (1, 2) if smoke else (1, 2, 4)
+    requests = _requests(
+        num_requests, num_pms=8, migration_limit=migration_limit,
+        deadline_fraction=0.0, deadline_ms=0.0, seed=7,
+    )
+    sweep = _fleet_saturation_sweep(requests, replica_counts)
+    kill_soak = _fleet_kill_soak(requests)
+    return {
+        "saturation_sweep": sweep,
+        "kill_soak": kill_soak,
+    }
+
+
 def run(smoke: bool = False, output: Path | None = None) -> dict:
     num_requests = 24 if smoke else 96
     migration_limit = 4 if smoke else 8
@@ -234,6 +333,8 @@ def run(smoke: bool = False, output: Path | None = None) -> dict:
         crash_envs=[1] if smoke else [1, 3],
     )
 
+    fleet = _fleet_segment(smoke, migration_limit)
+
     payload = {
         "benchmark": "serve_soak",
         "config": {
@@ -245,6 +346,7 @@ def run(smoke: bool = False, output: Path | None = None) -> dict:
         "serve": serve,
         "deadline": deadline_summary,
         "collect": collect,
+        "fleet": fleet,
     }
     print(json.dumps(payload, indent=2))
 
@@ -255,7 +357,8 @@ def run(smoke: bool = False, output: Path | None = None) -> dict:
                 merged = json.loads(output.read_text())
             except (ValueError, OSError):
                 merged = {}
-        merged["soak"] = payload
+        merged["soak"] = {k: v for k, v in payload.items() if k != "fleet"}
+        merged["fleet"] = fleet
         output.write_text(json.dumps(merged, indent=2))
         print(f"wrote {output}")
     return payload

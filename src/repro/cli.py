@@ -36,10 +36,15 @@ from .cluster import ClusterState, ConstraintConfig
 from .core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
 from .datasets import DatasetReader, build_dataset, get_spec, load_mappings, spec_for_workload
 from .serve import (
+    DefaultRegistryFactory,
+    FleetConfig,
     PlanError,
     PlanRequest,
+    PlanningClient,
     PlanningServer,
+    ReplicaFleet,
     ReschedulingService,
+    RetryPolicy,
     ServiceConfig,
     build_default_registry,
 )
@@ -101,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--objective", default="fragment_rate")
     evaluate.add_argument("--sampled", action="store_true",
                           help="risk-seeking (sampled) RL planning instead of greedy")
+    evaluate.add_argument("--url", default=None,
+                          help="evaluate against a running serve endpoint instead of "
+                               "in-process (e.g. http://127.0.0.1:8731)")
+    evaluate.add_argument("--retries", type=int, default=3,
+                          help="transient-failure retries per request with --url")
     evaluate.add_argument("--json", action="store_true")
 
     plan = subparsers.add_parser("plan", help="compute a migration plan for one mapping")
@@ -111,12 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--migration-limit", type=int, default=10)
     plan.add_argument("--objective", default="fragment_rate")
     plan.add_argument("--visualize", action="store_true", help="render per-step NUMA occupancy")
+    plan.add_argument("--url", default=None,
+                      help="plan against a running serve endpoint instead of "
+                           "in-process (e.g. http://127.0.0.1:8731)")
+    plan.add_argument("--retries", type=int, default=3,
+                      help="transient-failure retries with --url (503/connection "
+                           "reset back off and honor Retry-After)")
     plan.add_argument("--json", action="store_true")
 
     serve = subparsers.add_parser("serve", help="run the JSON planning service over HTTP")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8731)
     serve.add_argument("--checkpoint", default=None, help="VMR2L checkpoint backing the rl planner")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="run a self-healing fleet of N replica processes over "
+                            "shared read-only weights (0 = single in-process service)")
+    serve.add_argument("--start-method", default=None, choices=["fork", "spawn"],
+                       help="multiprocessing start method for --replicas (default spawn)")
+    serve.add_argument("--drain-timeout-s", type=float, default=30.0,
+                       help="graceful-drain budget on SIGTERM")
     serve.add_argument("--max-batch-size", type=int, default=8,
                        help="micro-batch size for concurrent greedy RL requests")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -219,16 +242,27 @@ def _build_service(args, max_batch_size: int = 8) -> ReschedulingService:
     return ReschedulingService(registry, config)
 
 
+def _make_client(args) -> PlanningClient:
+    """HTTP client with bounded retry/backoff honoring ``Retry-After``."""
+    return PlanningClient(
+        args.url, retry=RetryPolicy(max_retries=max(getattr(args, "retries", 3), 0))
+    )
+
+
 def cmd_evaluate(args) -> List[Dict]:
     reader = DatasetReader(args.dataset)
     test_states = reader.load_split("test", limit=args.max_mappings)
-    service = _build_service(args, max_batch_size=max(len(test_states), 1))
+    client = _make_client(args) if args.url else None
+    service = None
+    if client is None:
+        service = _build_service(args, max_batch_size=max(len(test_states), 1))
     planner_keys = [token.strip().lower() for token in args.baselines.split(",") if token.strip()]
     if args.checkpoint and "vmr2l" not in planner_keys:
         planner_keys.append("vmr2l")
-    for key in planner_keys:
-        if key not in service.registry:
-            raise SystemExit(f"unknown planner {key!r}; choose from {service.registry.names()}")
+    if service is not None:
+        for key in planner_keys:
+            if key not in service.registry:
+                raise SystemExit(f"unknown planner {key!r}; choose from {service.registry.names()}")
 
     rows = []
     for key in planner_keys:
@@ -242,7 +276,10 @@ def cmd_evaluate(args) -> List[Dict]:
             )
             for state in test_states
         ]
-        replies = service.handle_many(requests)
+        if client is not None:
+            replies = [client.plan(request) for request in requests]
+        else:
+            replies = service.handle_many(requests)
         failures = [reply for reply in replies if isinstance(reply, PlanError)]
         if failures:
             raise SystemExit(f"planner {key!r} failed: {failures[0].message}")
@@ -264,14 +301,16 @@ def cmd_plan(args) -> Dict:
         raise SystemExit(f"no mappings found in {args.mapping}")
     state = states[0]
     planner_key = args.planner or ("vmr2l" if args.checkpoint else "ha")
-    service = _build_service(args)
     request = PlanRequest.from_state(
         state,
         planner=planner_key,
         migration_limit=args.migration_limit,
         objective=args.objective,
     )
-    reply = service.handle(request)
+    if args.url:
+        reply = _make_client(args).plan(request)
+    else:
+        reply = _build_service(args).handle(request)
     if isinstance(reply, PlanError):
         raise SystemExit(f"planning failed ({reply.code}): {reply.message}")
     summary = {
@@ -288,9 +327,34 @@ def cmd_plan(args) -> Dict:
     return summary
 
 
+def _build_fleet(args) -> ReplicaFleet:
+    """A replica fleet sharing one read-only weight copy across replicas."""
+    agent = (
+        VMR2LAgent.load(args.checkpoint) if args.checkpoint else VMR2LAgent(seed=0)
+    )
+    factory = DefaultRegistryFactory.from_agent(
+        agent, include_slow=not getattr(args, "fast_only", False)
+    )
+    service_config = ServiceConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        micro_batching=not args.no_micro_batching,
+        eval_workers=args.eval_workers,
+        deadline_policy=args.deadline_policy,
+        fallback_planner=args.fallback_planner,
+    )
+    fleet_config = FleetConfig(
+        num_replicas=args.replicas,
+        start_method=args.start_method,
+        max_inflight=args.max_queue_depth,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+    return ReplicaFleet(factory, config=fleet_config, service_config=service_config)
+
+
 def cmd_serve(args) -> Dict:
-    service = _build_service(args, max_batch_size=args.max_batch_size)
     if args.once:
+        service = _build_service(args, max_batch_size=args.max_batch_size)
         if args.request in (None, "-"):
             text = sys.stdin.read()
         else:
@@ -301,12 +365,41 @@ def cmd_serve(args) -> Dict:
         print(json.dumps(payload, indent=None if args.json else 2, default=str))
         return payload
 
+    if args.replicas > 0:
+        backend = _build_fleet(args)
+        backend.start()
+        described = backend.registry.describe()
+        planners = ", ".join(sorted(entry.get("key", entry["name"]) for entry in described))
+    else:
+        backend = _build_service(args, max_batch_size=args.max_batch_size)
+        planners = ", ".join(backend.registry.names())
     server = PlanningServer(
-        service, host=args.host, port=args.port, verbose=args.verbose
+        backend, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = server.address
-    print(f"repro serve: listening on http://{host}:{port} "
-          f"(planners: {', '.join(service.registry.names())})", file=sys.stderr)
+    mode = f"{args.replicas} replicas" if args.replicas > 0 else "single process"
+    print(f"repro serve: listening on http://{host}:{port} ({mode}; "
+          f"planners: {planners})", file=sys.stderr)
+
+    # SIGTERM → graceful drain: stop admitting (503 + Retry-After), finish
+    # in-flight requests, deregister (healthz 503), then exit.  The drain
+    # runs off-thread: server.stop() must not be reached from under the
+    # serve_forever frame the signal interrupted, or shutdown() deadlocks.
+    import signal as _signal
+    import threading as _threading
+
+    def _drain_on_sigterm(signum, frame):
+        _threading.Thread(
+            target=server.drain,
+            kwargs={"timeout": args.drain_timeout_s},
+            name="sigterm-drain",
+            daemon=True,
+        ).start()
+
+    try:
+        _signal.signal(_signal.SIGTERM, _drain_on_sigterm)
+    except ValueError:
+        pass  # not the main thread (tests drive cmd_serve off-thread)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

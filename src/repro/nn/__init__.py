@@ -26,7 +26,13 @@ from .attention import (
 from .layers import MLP, Activation, Dropout, Embedding, LayerNorm, Linear, Sequential
 from .module import Module
 from .optim import Adam, ConstantSchedule, LinearSchedule, Optimizer, SGD
-from .serialization import checkpoint_size_bytes, load_module, save_module
+from .serialization import (
+    CheckpointCorruptError,
+    checkpoint_size_bytes,
+    load_module,
+    save_module,
+    verify_checkpoint,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -74,6 +80,8 @@ __all__ = [
     "save_module",
     "load_module",
     "checkpoint_size_bytes",
+    "verify_checkpoint",
+    "CheckpointCorruptError",
     "functional",
     "init",
 ]

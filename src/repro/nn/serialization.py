@@ -3,11 +3,24 @@
 Checkpoints are stored as ``.npz`` archives of flat parameter arrays plus a
 JSON metadata blob.  The paper notes VMR2L checkpoints are under 2 MB; the
 same holds here because the parameter count is independent of cluster size.
+
+Writes are **atomic and verified**: :func:`save_module` serializes into a
+temporary file in the target directory, fsyncs it, and ``os.replace``\\ s it
+into place, so a crash mid-save leaves either the previous checkpoint or the
+new one — never a torn file.  The metadata blob carries a SHA-256 digest of
+every parameter array (name, dtype, shape, bytes); :func:`load_module`
+recomputes and compares it, so silent corruption (a truncated copy, a flipped
+block on disk) raises :class:`CheckpointCorruptError` instead of loading
+garbage weights into a serving fleet.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -16,47 +29,143 @@ import numpy as np
 from .module import Module
 
 _META_KEY = "__metadata__"
+#: Reserved metadata field holding the parameter digest (stripped on load).
+_DIGEST_KEY = "__checkpoint_digest__"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint whose stored digest does not match its parameter bytes."""
+
+
+def _state_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every parameter's name, dtype, shape and raw bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _with_npz_suffix(path: Path) -> Path:
+    if path.suffix != ".npz":
+        return path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    return path
 
 
 def save_module(module: Module, path: str | Path, metadata: Optional[Dict] = None) -> Path:
-    """Save a module's parameters (and optional metadata) to ``path``.
+    """Atomically save a module's parameters (and optional metadata) to ``path``.
 
     The ``.npz`` suffix is appended if missing, mirroring ``numpy.savez``.
-    Returns the final path written.
+    The archive is written to a temporary file in the same directory, flushed
+    and fsynced, then renamed over ``path`` — readers (and a crash mid-save)
+    only ever observe a complete checkpoint.  Returns the final path written.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path = _with_npz_suffix(Path(path))
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = dict(module.state_dict())
     if _META_KEY in arrays:
         raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
+    metadata = dict(metadata or {})
+    if _DIGEST_KEY in metadata:
+        raise ValueError(f"metadata key {_DIGEST_KEY!r} is reserved for the stored digest")
+    metadata[_DIGEST_KEY] = _state_digest(arrays)
     arrays[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # savez on an open file handle never appends a suffix, so the
+            # temp file's name is exactly what os.replace moves.
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
-def load_module(module: Module, path: str | Path, strict: bool = True) -> Dict:
-    """Load parameters into ``module`` and return the stored metadata dict."""
+def load_module(
+    module: Module, path: str | Path, strict: bool = True, verify: bool = True
+) -> Dict:
+    """Load parameters into ``module`` and return the stored metadata dict.
+
+    With ``verify`` (the default) the parameter digest stored at save time is
+    recomputed and compared before any weight touches the module; a mismatch
+    — or a digest-bearing metadata blob that cannot be parsed — raises
+    :class:`CheckpointCorruptError`.  Checkpoints written before digests
+    existed load unverified (there is nothing to compare against).
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
-        candidate = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+        candidate = _with_npz_suffix(path)
         if candidate.exists():
             path = candidate
-    with np.load(path, allow_pickle=False) as archive:
-        arrays = {name: archive[name] for name in archive.files}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} cannot be read ({exc}); it may be torn or corrupt"
+        ) from exc
     metadata_bytes = arrays.pop(_META_KEY, None)
+    metadata: Dict = {}
+    if metadata_bytes is not None:
+        try:
+            metadata = json.loads(bytes(metadata_bytes).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has an unreadable metadata blob ({exc})"
+            ) from exc
+    stored_digest = metadata.pop(_DIGEST_KEY, None)
+    if verify and stored_digest is not None:
+        actual = _state_digest(arrays)
+        if actual != stored_digest:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is corrupt: stored digest {stored_digest[:12]}… "
+                f"does not match parameter bytes ({actual[:12]}…)"
+            )
     module.load_state_dict(arrays, strict=strict)
-    if metadata_bytes is None:
-        return {}
-    return json.loads(bytes(metadata_bytes).decode("utf-8"))
+    return metadata
+
+
+def verify_checkpoint(path: str | Path) -> bool:
+    """True if ``path`` is a readable checkpoint whose digest matches.
+
+    Checkpoints without a stored digest (pre-digest format) return ``True``
+    when readable — there is nothing to compare against.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = _with_npz_suffix(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        metadata_bytes = arrays.pop(_META_KEY, None)
+        if metadata_bytes is None:
+            return True
+        metadata = json.loads(bytes(metadata_bytes).decode("utf-8"))
+    except (ValueError, OSError, EOFError, UnicodeDecodeError, zipfile.BadZipFile):
+        return False
+    stored_digest = metadata.pop(_DIGEST_KEY, None)
+    if stored_digest is None:
+        return True
+    return _state_digest(arrays) == stored_digest
 
 
 def checkpoint_size_bytes(path: str | Path) -> int:
     """Return the on-disk size of a checkpoint file."""
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+        path = _with_npz_suffix(path)
     return path.stat().st_size

@@ -9,10 +9,18 @@
   ``act_batch`` hot path
 * :mod:`repro.serve.server` — a stdlib ThreadingHTTPServer JSON frontend
   (``repro serve``)
+* :mod:`repro.serve.fleet` / :mod:`repro.serve.router` — the self-healing
+  replica fleet (``repro serve --replicas N``): supervised serving
+  processes over shared read-only weights, health-checked routing, bounded
+  retries, graceful drain and rolling restart
+* :mod:`repro.serve.client` — retrying HTTP client (``repro plan --url``)
 
-See ``docs/serving.md`` for the API reference and a curl example.
+See ``docs/serving.md`` for the API reference and a curl example, and
+``docs/robustness.md`` for the failure-mode contract the fleet upholds.
 """
 
+from .client import PlanningClient
+from .fleet import DefaultRegistryFactory, FleetConfig, ReplicaFleet
 from .registry import (
     BaselinePlanner,
     Planner,
@@ -20,6 +28,7 @@ from .registry import (
     RLPlanner,
     build_default_registry,
 )
+from .router import ReplicaView, RetryPolicy, choose_replica
 from .schemas import (
     SCHEMA_VERSION,
     PlanError,
@@ -34,16 +43,23 @@ from .service import ReschedulingService, ServiceConfig
 __all__ = [
     "SCHEMA_VERSION",
     "BaselinePlanner",
+    "DefaultRegistryFactory",
+    "FleetConfig",
     "Planner",
     "PlannerRegistry",
     "PlanError",
     "PlanRequest",
     "PlanResponse",
+    "PlanningClient",
     "PlanningServer",
+    "ReplicaFleet",
+    "ReplicaView",
     "ReschedulingService",
+    "RetryPolicy",
     "RLPlanner",
     "SchemaError",
     "ServiceConfig",
     "build_default_registry",
+    "choose_replica",
     "response_from_dict",
 ]

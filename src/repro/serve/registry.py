@@ -217,6 +217,20 @@ class PlannerRegistry:
             self._aliases[alias] = key
         return planner
 
+    def replace(self, key: str, planner: Planner) -> Planner:
+        """Swap an already-registered planner (aliases keep pointing at it).
+
+        This is how the fault-injection harness plants a wrapped planner
+        inside a replica's registry; it refuses to create new keys so a typo
+        fails loudly instead of registering an unreachable planner.
+        """
+        key = key.lower()
+        key = self._aliases.get(key, key)
+        if key not in self._planners:
+            raise KeyError(f"unknown planner {key!r}; registered: {self.names()}")
+        self._planners[key] = planner
+        return planner
+
     def get(self, name: str) -> Planner:
         key = name.lower()
         key = self._aliases.get(key, key)

@@ -1,0 +1,85 @@
+"""Routing and retry policy for the replica fleet (and its clients).
+
+The router side of the serving fleet is deliberately small and pure: given
+the latest per-replica bookkeeping, :func:`choose_replica` picks where the
+next request goes, and :class:`RetryPolicy` decides how failed or timed-out
+attempts back off before landing on a surviving replica.  Both are plain
+data/functions so the chaos suites can test routing decisions without
+spawning a single process.
+
+Plan requests are idempotent — replanning the same snapshot yields the same
+(or an equally valid) plan and mutates nothing — which is what makes blind
+retry-on-another-replica sound.  The same :class:`RetryPolicy` shape drives
+the HTTP client in :mod:`repro.serve.client`, so client- and fleet-side
+backoff stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff for idempotent retries.
+
+    ``max_retries`` counts *re*-attempts: a request is tried at most
+    ``max_retries + 1`` times before it fails with a stable error.  Attempt
+    ``k`` (1-based) backs off ``backoff_s * 2**(k-1)`` seconds, capped at
+    ``backoff_cap_s``, plus up to ``jitter`` fraction of that on top so
+    retry storms decorrelate (the discipline ``AsyncVectorEnv`` uses for
+    worker respawns).
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must not be negative")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must not be negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before retry ``attempt`` (1-based); jittered when ``rng`` given."""
+        if attempt < 1:
+            return 0.0
+        delay = min(self.backoff_s * (2.0 ** (attempt - 1)), self.backoff_cap_s)
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+@dataclass
+class ReplicaView:
+    """What the router knows about one replica when routing a request."""
+
+    index: int
+    available: bool  # ready, alive, fresh heartbeat, not draining
+    assigned: int  # requests the router has in flight on it (exact)
+    queue_depth: int  # replica-reported queue depth (one heartbeat stale)
+
+
+def choose_replica(replicas: Sequence[ReplicaView]) -> Optional[int]:
+    """Pick the least-loaded available replica (or ``None`` if none is).
+
+    Load is primarily the router's own in-flight count — exact, unlike the
+    heartbeat-lagged queue depth, which only breaks ties.  Index breaks the
+    final tie so routing is deterministic for tests.
+    """
+    best: Optional[ReplicaView] = None
+    for view in replicas:
+        if not view.available:
+            continue
+        if best is None or (view.assigned, view.queue_depth, view.index) < (
+            best.assigned,
+            best.queue_depth,
+            best.index,
+        ):
+            best = view
+    return None if best is None else best.index

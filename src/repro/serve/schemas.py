@@ -284,30 +284,42 @@ class PlanResponse:
 
 @dataclass
 class PlanError:
-    """A structured planning failure (never raises across the API boundary)."""
+    """A structured planning failure (never raises across the API boundary).
+
+    ``retry_after_s`` is an optional backoff hint attached to *transient*
+    errors (load shedding, a draining replica): the condition is expected to
+    clear, and a well-behaved client should wait roughly this long before
+    retrying.  The HTTP server surfaces it as a ``Retry-After`` header.
+    """
 
     request_id: str
     code: str
     message: str
+    retry_after_s: Optional[float] = None
     version: int = SCHEMA_VERSION
 
     ok = False
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "version": self.version,
             "ok": False,
             "request_id": self.request_id,
             "code": self.code,
             "message": self.message,
         }
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = self.retry_after_s
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "PlanError":
+        retry_after_s = payload.get("retry_after_s")
         return cls(
             request_id=payload.get("request_id", ""),
             code=payload.get("code", "internal_error"),
             message=payload.get("message", ""),
+            retry_after_s=None if retry_after_s is None else float(retry_after_s),
             version=int(payload.get("version", SCHEMA_VERSION)),
         )
 

@@ -55,10 +55,26 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802  (http.server naming)
         try:
+            service = self.server.service
             if self.path in ("/healthz", "/health"):
-                self._send_json(200, {"status": "ok", "stats": self.server.service.stats()})
+                # A stopped or draining backend answers 503 immediately — a
+                # load balancer must take it out of rotation, and a probe
+                # must never hang on a service that is going away.
+                serving = getattr(service, "is_serving", True)
+                if serving:
+                    self._send_json(200, {"status": "ok", "stats": service.stats()})
+                else:
+                    draining = getattr(service, "is_draining", False)
+                    self._send_json(
+                        503,
+                        {"status": "draining" if draining else "stopped",
+                         "stats": service.stats()},
+                        retry_after_s=1.0,
+                    )
+            elif self.path == "/v1/state":
+                self._send_json(200, service.state())
             elif self.path == "/v1/planners":
-                self._send_json(200, {"planners": self.server.service.registry.describe()})
+                self._send_json(200, {"planners": service.registry.describe()})
             else:
                 self._send_json(404, {"ok": False, "code": "not_found",
                                       "message": f"unknown path {self.path!r}"})
@@ -120,14 +136,23 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
                 request.request_id, "service_unavailable", str(exc)).to_dict())
             return
         status = 200 if reply.ok else _ERROR_STATUS.get(reply.code, 500)
-        self._send_json(status, reply.to_dict())
+        self._send_json(
+            status, reply.to_dict(),
+            retry_after_s=getattr(reply, "retry_after_s", None),
+        )
 
     # ------------------------------------------------------------------ #
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, retry_after_s: Optional[float] = None
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # RFC 9110 Retry-After in whole seconds; clients that want the
+            # precise value read ``retry_after_s`` from the JSON body.
+            self.send_header("Retry-After", str(max(1, round(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -196,6 +221,20 @@ class PlanningServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight, then stop.
+
+        The HTTP listener keeps answering during the drain — in-flight
+        requests complete normally, new ``/v1/plan`` submissions get a
+        retryable 503 with ``Retry-After``, and ``/healthz`` flips to 503 so
+        load balancers deregister the instance — then everything stops.
+        This is the SIGTERM handler's path in ``repro serve``.
+        """
+        drain = getattr(self.service, "drain", None)
+        if drain is not None:
+            drain(timeout)
+        self.stop()
 
     def __enter__(self) -> "PlanningServer":
         self.start()

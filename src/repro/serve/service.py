@@ -38,6 +38,7 @@ import multiprocessing
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -98,6 +99,10 @@ class ServiceConfig:
     #: Upper bound on one pooled plan-evaluation batch; past this the pool is
     #: presumed wedged, torn down, and the batch re-runs inline.
     eval_timeout_s: float = 60.0
+    #: Backoff hint attached to shed / draining rejections (``retry_after_s``
+    #: on the error, ``Retry-After`` on the HTTP reply): how long a client
+    #: should wait before retrying.  ``0`` omits the hint.
+    shed_retry_after_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -115,6 +120,8 @@ class ServiceConfig:
             )
         if self.eval_timeout_s <= 0:
             raise ValueError("eval_timeout_s must be positive")
+        if self.shed_retry_after_s < 0:
+            raise ValueError("shed_retry_after_s must not be negative")
 
 
 @dataclass
@@ -139,9 +146,11 @@ class ReschedulingService:
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._running = False
+        self._draining = False
         self._eval_pool = None
         self._eval_pool_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=512)
         self._stats: Dict[str, float] = {
             "requests": 0,
             "errors": 0,
@@ -205,10 +214,49 @@ class ReschedulingService:
         if self._running:
             return
         self._running = True
+        self._draining = False
         self._worker = threading.Thread(
             target=self._worker_loop, name="rescheduling-service", daemon=True
         )
         self._worker.start()
+
+    @property
+    def is_serving(self) -> bool:
+        """True while the service admits new requests (started, not draining)."""
+        return self._running and not self._draining
+
+    @property
+    def is_draining(self) -> bool:
+        """True only mid-drain: a fully stopped service is 'stopped', not
+        'draining' — probes and dashboards treat the two differently."""
+        return self._running and self._draining
+
+    def pending_count(self) -> int:
+        """Requests admitted but not yet dispatched (queue depth)."""
+        return self._queue.qsize()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; already-queued work keeps flowing.
+
+        Idempotent.  ``submit`` rejects with a retryable ``service_unavailable``
+        from this point on, while the worker continues dispatching the backlog
+        — the graceful half of a shutdown.
+        """
+        self._draining = True
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight work, stop.
+
+        Blocks until the queue is empty and the worker has exited (or
+        ``timeout`` elapses — whatever is still queued then fails with
+        ``service_unavailable`` rather than hanging its caller).  Idempotent,
+        like :meth:`stop`.
+        """
+        deadline = time.monotonic() + timeout
+        self.begin_drain()
+        while not self._queue.empty() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        self.stop(timeout=max(deadline - time.monotonic(), 1.0))
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop the worker; queued-but-undispatched requests fail, not hang.
@@ -234,6 +282,7 @@ class ReschedulingService:
                         item.request,
                         "service_unavailable",
                         "service stopped before the request was dispatched",
+                        retry_after_s=self.config.shed_retry_after_s or None,
                     )
                 )
         with self._eval_pool_lock:
@@ -252,6 +301,19 @@ class ReschedulingService:
         if not self._running:
             raise RuntimeError("service is not started; call start() first")
         future: "Future[Reply]" = Future()
+        retry_after = self.config.shed_retry_after_s or None
+        if self._draining:
+            with self._stats_lock:
+                self._stats["shed"] += 1
+            future.set_result(
+                self._error(
+                    request,
+                    "service_unavailable",
+                    "service is draining and no longer admits requests",
+                    retry_after_s=retry_after,
+                )
+            )
+            return future
         depth = self.config.max_queue_depth
         if depth > 0 and self._queue.qsize() >= depth:
             with self._stats_lock:
@@ -261,6 +323,7 @@ class ReschedulingService:
                     request,
                     "service_unavailable",
                     f"queue depth is at the admission bound ({depth}); retry later",
+                    retry_after_s=retry_after,
                 )
             )
             return future
@@ -274,6 +337,27 @@ class ReschedulingService:
     def stats(self) -> Dict[str, float]:
         with self._stats_lock:
             return dict(self._stats)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p99 over the most recent successful responses (sliding window)."""
+        with self._stats_lock:
+            window = sorted(self._latencies)
+        if not window:
+            return {"p50_ms": 0.0, "p99_ms": 0.0}
+        return {
+            "p50_ms": window[int(0.50 * (len(window) - 1))],
+            "p99_ms": window[int(0.99 * (len(window) - 1))],
+        }
+
+    def state(self) -> Dict:
+        """One self-describing health/load snapshot (the ``/v1/state`` body)."""
+        return {
+            "serving": self.is_serving,
+            "draining": self._draining,
+            "queue_depth": self.pending_count(),
+            "latency": self.latency_percentiles(),
+            "stats": self.stats(),
+        }
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -518,6 +602,7 @@ class ReschedulingService:
             metrics["deadline_exceeded"] = latency_ms > request.deadline_ms
         with self._stats_lock:
             self._stats["requests"] += 1
+            self._latencies.append(latency_ms)
         return PlanResponse(
             request_id=request.request_id,
             planner=result.algorithm,
@@ -531,11 +616,22 @@ class ReschedulingService:
             info=dict(result.info),
         )
 
-    def _error(self, request: PlanRequest, code: str, message: str) -> PlanError:
+    def _error(
+        self,
+        request: PlanRequest,
+        code: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> PlanError:
         with self._stats_lock:
             self._stats["requests"] += 1
             self._stats["errors"] += 1
-        return PlanError(request_id=request.request_id, code=code, message=message)
+        return PlanError(
+            request_id=request.request_id,
+            code=code,
+            message=message,
+            retry_after_s=retry_after_s,
+        )
 
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:

@@ -7,8 +7,10 @@ from .faults import (
     FaultPlan,
     FaultyEnv,
     FaultyPlanner,
+    FaultyRegistryFactory,
     faulty_factories,
     kill_eval_pool_workers,
+    kill_replica,
     malformed_http_payloads,
     oversized_body,
 )
@@ -20,8 +22,10 @@ __all__ = [
     "FaultPlan",
     "FaultyEnv",
     "FaultyPlanner",
+    "FaultyRegistryFactory",
     "faulty_factories",
     "kill_eval_pool_workers",
+    "kill_replica",
     "malformed_http_payloads",
     "oversized_body",
 ]

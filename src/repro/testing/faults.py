@@ -235,6 +235,13 @@ class FaultyPlanner:
     (shared counter) that trigger the fault; other calls pass through.  The
     counter is thread-safe — the service's worker thread and direct test
     calls may interleave.
+
+    The ``crash`` kind hard-exits the *hosting process* (``os._exit``), which
+    inside a fleet replica simulates an OOM-killed replica mid-request.  A
+    restarted replica rebuilds its registry and restarts the call counter, so
+    crash/hang faults in fleet tests should carry a ``latch`` path — the
+    fault then fires exactly once across any number of respawns (same
+    mechanism as env-level faults).
     """
 
     def __init__(
@@ -244,14 +251,16 @@ class FaultyPlanner:
         kind: str = "raise",
         latency_s: float = 0.0,
         message: str = "injected planner fault",
+        latch: Optional[str] = None,
     ) -> None:
-        if kind not in ("raise", "hang", "slow"):
+        if kind not in ("raise", "hang", "slow", "crash"):
             raise ValueError(f"unsupported planner fault kind {kind!r}")
         self._inner = inner
         self._fail_calls = frozenset(int(i) for i in fail_calls)
         self._kind = kind
         self._latency_s = latency_s
         self._message = message
+        self._latch = latch
         self._calls = 0
         self._lock = threading.Lock()
         self.name = inner.name
@@ -262,13 +271,24 @@ class FaultyPlanner:
         with self._lock:
             return self._calls
 
+    def _acquire(self) -> bool:
+        if self._latch is None:
+            return True
+        try:
+            with open(self._latch, "x"):
+                return True
+        except FileExistsError:
+            return False
+
     def _maybe_fault(self) -> None:
         with self._lock:
             ordinal = self._calls
             self._calls += 1
-        if ordinal not in self._fail_calls:
+        if ordinal not in self._fail_calls or not self._acquire():
             return
-        if self._kind == "hang":
+        if self._kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif self._kind == "hang":
             time.sleep(HANG_SLEEP_S)
         elif self._kind == "slow":
             time.sleep(self._latency_s)
@@ -306,6 +326,80 @@ def kill_eval_pool_workers(service) -> int:
             process.kill()
             killed += 1
     return killed
+
+
+# ---------------------------------------------------------------------- #
+# Fleet-level hooks
+# ---------------------------------------------------------------------- #
+class FaultyRegistryFactory:
+    """Picklable registry factory that plants a :class:`FaultyPlanner`.
+
+    Wraps any registry factory (typically
+    :class:`~repro.serve.fleet.DefaultRegistryFactory`) and, inside the
+    replica process, replaces ``planner_key`` with a :class:`FaultyPlanner`
+    carrying the given fault parameters.  Because the wrapping happens after
+    the factory runs *in the replica*, faults fire under both ``fork`` and
+    ``spawn`` — including ``crash`` (hard ``os._exit`` of the replica) and
+    ``hang`` (planner call that outlives ``request_timeout_s``).
+
+    Pass a ``latch`` path for crash/hang faults in fleet tests: a respawned
+    replica rebuilds this registry with the call counter back at zero, so an
+    unlatched fault would re-fire on every respawn and exhaust the restart
+    budget instead of proving recovery.
+    """
+
+    def __init__(
+        self,
+        inner: Callable[[], object],
+        planner_key: str,
+        fail_calls: Iterable[int] = (0,),
+        kind: str = "raise",
+        latency_s: float = 0.0,
+        message: str = "injected planner fault",
+        latch: Optional[str] = None,
+    ) -> None:
+        self.inner = inner
+        self.planner_key = planner_key
+        self.fail_calls = tuple(int(i) for i in fail_calls)
+        self.kind = kind
+        self.latency_s = latency_s
+        self.message = message
+        self.latch = latch
+
+    def __call__(self):
+        registry = self.inner()
+        registry.replace(
+            self.planner_key,
+            FaultyPlanner(
+                registry.get(self.planner_key),
+                fail_calls=self.fail_calls,
+                kind=self.kind,
+                latency_s=self.latency_s,
+                message=self.message,
+                latch=self.latch,
+            ),
+        )
+        return registry
+
+
+def kill_replica(fleet, index: int) -> Optional[int]:
+    """SIGKILL one fleet replica by slot index; returns the pid (or None).
+
+    Goes through ``fleet.state()`` rather than private attributes so it kills
+    exactly what the supervisor believes is running.  Returns ``None`` when
+    the slot has no live process (already down or restarting).
+    """
+    replicas = fleet.state()["replicas"]
+    if not 0 <= index < len(replicas):
+        raise IndexError(f"fleet has {len(replicas)} replicas; no slot {index}")
+    pid = replicas[index].get("pid")
+    if pid is None:
+        return None
+    try:
+        os.kill(pid, 9)  # SIGKILL — no cleanup, like the OOM killer
+    except (ProcessLookupError, PermissionError):
+        return None
+    return pid
 
 
 # ---------------------------------------------------------------------- #
