@@ -14,8 +14,12 @@ without writing Python:
 ``python -m repro.cli serve``
     Run the JSON planning service over HTTP (or handle one request with
     ``--once``).
+``python -m repro.cli simulate``
+    Run a trace-driven living-cluster simulation: seeded synthetic churn
+    (or a recorded trace) with periodic online replanning, in-process or
+    against a running serve endpoint (see ``docs/simulation.md``).
 
-``plan``, ``evaluate`` and ``serve`` are thin clients of the same
+``plan``, ``evaluate``, ``serve`` and ``simulate`` are thin clients of the same
 :class:`repro.serve.ReschedulingService`, so the CLI, the HTTP server and the
 tests exercise one code path (see ``docs/serving.md``).  Every subcommand
 prints a compact table and returns machine-readable JSON when ``--json`` is
@@ -34,7 +38,14 @@ from .analysis import format_table, render_trace, trace_plan
 from .baselines import FilteringHeuristic, MIPRescheduler, POPRescheduler
 from .cluster import ClusterState, ConstraintConfig
 from .core import ModelConfig, PPOConfig, RiskSeekingConfig, VMR2LAgent, VMR2LConfig
-from .datasets import DatasetReader, build_dataset, get_spec, load_mappings, spec_for_workload
+from .datasets import (
+    DatasetReader,
+    SnapshotGenerator,
+    build_dataset,
+    get_spec,
+    load_mappings,
+    spec_for_workload,
+)
 from .serve import (
     DefaultRegistryFactory,
     FleetConfig,
@@ -47,6 +58,15 @@ from .serve import (
     RetryPolicy,
     ServiceConfig,
     build_default_registry,
+)
+from .sim import (
+    ChurnSpec,
+    LivingCluster,
+    OnlineRescheduler,
+    SimulationConfig,
+    SyntheticTrace,
+    load_trace,
+    save_trace,
 )
 
 #: Deprecated — kept for backwards compatibility with pre-serve scripts.
@@ -165,6 +185,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path to a PlanRequest JSON file ('-' for stdin) used with --once")
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
     serve.add_argument("--json", action="store_true")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a trace-driven living-cluster simulation")
+    simulate.add_argument("--preset", default="small",
+                          help="cluster preset (small/medium/large/multi_resource)")
+    simulate.add_argument("--workload", default=None,
+                          help="optional workload level (low/middle/high)")
+    simulate.add_argument("--num-pms", type=int, default=None,
+                          help="override the preset PM count")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="seeds the snapshot, the synthetic trace and the "
+                               "engine — one seed fully determines the run")
+    simulate.add_argument("--family", default="diurnal",
+                          choices=("diurnal", "flash_crowd", "abnormal"),
+                          help="synthetic churn workload family")
+    simulate.add_argument("--horizon-days", type=float, default=1.0,
+                          help="simulated horizon in days")
+    simulate.add_argument("--peak-per-minute", type=float, default=2.0,
+                          help="peak VM change rate of the family profile")
+    simulate.add_argument("--trough-per-minute", type=float, default=0.2,
+                          help="trough VM change rate of the family profile")
+    simulate.add_argument("--resizes-per-hour", type=float, default=1.0)
+    simulate.add_argument("--drains-per-day", type=float, default=2.0,
+                          help="expected PM maintenance drains per day")
+    simulate.add_argument("--failures-per-day", type=float, default=1.0,
+                          help="expected hard PM failures per day")
+    simulate.add_argument("--adds-per-day", type=float, default=3.0,
+                          help="expected PM additions (newer hardware) per day")
+    simulate.add_argument("--trace", default=None,
+                          help="replay a recorded JSONL trace instead of "
+                               "generating a synthetic one")
+    simulate.add_argument("--record-trace", default=None,
+                          help="save the event stream as a JSONL trace file")
+    simulate.add_argument("--planner", default=None,
+                          help="planner registry key (default: ha, or vmr2l when "
+                               "--checkpoint is given)")
+    simulate.add_argument("--checkpoint", default=None,
+                          help="VMR2L checkpoint backing the rl planner")
+    simulate.add_argument("--migration-limit", type=int, default=8)
+    simulate.add_argument("--objective", default="fragment_rate")
+    simulate.add_argument("--replan-every-s", type=float, default=1800.0,
+                          help="simulated seconds between replanning rounds")
+    simulate.add_argument("--plan-delay-s", type=float, default=60.0,
+                          help="simulated planning+migration latency per round "
+                               "(churn in this window can invalidate the plan)")
+    simulate.add_argument("--max-rounds", type=int, default=None,
+                          help="cap on replanning rounds (smoke runs)")
+    simulate.add_argument("--deadline-ms", type=float, default=None,
+                          help="per-request soft deadline forwarded to the planner")
+    simulate.add_argument("--no-step-cache", action="store_true",
+                          help="disable the step-incremental encoder cache")
+    simulate.add_argument("--fast-only", action="store_true",
+                          help="register only the low-latency planners")
+    simulate.add_argument("--url", default=None,
+                          help="plan against a running serve endpoint instead of "
+                               "in-process (e.g. http://127.0.0.1:8731)")
+    simulate.add_argument("--retries", type=int, default=3,
+                          help="transient-failure retries per request with --url")
+    simulate.add_argument("--json", action="store_true")
     return parser
 
 
@@ -407,6 +486,88 @@ def cmd_serve(args) -> Dict:
     return {"host": host, "port": port}
 
 
+def cmd_simulate(args) -> Dict:
+    if args.workload:
+        spec = spec_for_workload(args.workload, base=args.preset)
+    else:
+        spec = get_spec(args.preset)
+    if args.num_pms:
+        spec = type(spec)(**{**spec.__dict__, "num_pms": args.num_pms})
+    state = SnapshotGenerator(spec, seed=args.seed).generate()
+    horizon_s = args.horizon_days * 86400.0
+
+    churn = None
+    if args.trace:
+        header, events = load_trace(args.trace)
+        meta = header.get("meta") or {}
+        if meta.get("horizon_s"):
+            horizon_s = float(meta["horizon_s"])
+    else:
+        churn = ChurnSpec(
+            family=args.family,
+            peak_per_minute=args.peak_per_minute,
+            trough_per_minute=args.trough_per_minute,
+            resizes_per_hour=args.resizes_per_hour,
+            drains_per_day=args.drains_per_day,
+            failures_per_day=args.failures_per_day,
+            adds_per_day=args.adds_per_day,
+        )
+        events = SyntheticTrace(churn, seed=args.seed).generate(horizon_s)
+    if args.record_trace:
+        meta = {"preset": args.preset, "seed": args.seed, "horizon_s": horizon_s}
+        if churn is not None:
+            meta["churn"] = churn.to_dict()
+        save_trace(events, args.record_trace, meta=meta)
+
+    cluster = LivingCluster(state, events, seed=args.seed)
+    planner_key = args.planner or ("vmr2l" if args.checkpoint else "ha")
+    if args.url:
+        plan_fn = _make_client(args).plan
+    else:
+        registry = build_default_registry(
+            checkpoint=args.checkpoint, include_slow=not args.fast_only
+        )
+        service = ReschedulingService(
+            registry, ServiceConfig(rl_step_cache=not args.no_step_cache)
+        )
+        if planner_key not in registry:
+            raise SystemExit(
+                f"unknown planner {planner_key!r}; choose from {registry.names()}"
+            )
+        plan_fn = service.handle
+    config = SimulationConfig(
+        planner=planner_key,
+        migration_limit=args.migration_limit,
+        objective=args.objective,
+        replan_every_s=args.replan_every_s,
+        plan_delay_s=args.plan_delay_s,
+        horizon_s=horizon_s,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        max_rounds=args.max_rounds,
+    )
+    report = OnlineRescheduler(cluster, plan_fn, config).run()
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        stats = payload["engine_stats"]
+        row = {
+            "planner": payload["planner"],
+            "rounds": payload["num_rounds"],
+            "failed": payload["failed_rounds"],
+            "final_objective": round(payload["final_objective"], 6),
+            "steady_state": round(payload["steady_state_objective"], 6),
+            "invalidation": round(payload["invalidation_rate"], 4),
+            "drift_events": len(payload["drift_events"]),
+            "arrivals": stats["arrivals"],
+            "exits": stats["exits"],
+            "pm_churn": stats["drains"] + stats["failures"] + stats["adds"],
+        }
+        print(format_table([row], title=f"simulation over {horizon_s / 86400.0:g} day(s)"))
+    return payload
+
+
 def _emit(args, rows: Sequence[Dict], title: str) -> None:
     if getattr(args, "json", False):
         print(json.dumps(list(rows), indent=2, default=str))
@@ -423,6 +584,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": cmd_evaluate,
         "plan": cmd_plan,
         "serve": cmd_serve,
+        "simulate": cmd_simulate,
     }
     handlers[args.command](args)
     return 0

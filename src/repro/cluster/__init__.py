@@ -19,6 +19,7 @@ from .constraints import (
     assign_anti_affinity_groups,
 )
 from .events import (
+    EVENT_KINDS,
     ClusterEvent,
     EventGenerator,
     apply_events,

@@ -15,7 +15,7 @@ Fig. 5 experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,19 +25,87 @@ from .vm_types import VMType, VMTypeCatalog
 
 MINUTES_PER_DAY = 24 * 60
 
+#: Every event kind the living-cluster simulator understands.  The first two
+#: are the legacy Fig. 1 / Fig. 5 kinds; the rest were added for the
+#: trace-driven continuous simulator (:mod:`repro.sim`): VM resizes, PM
+#: maintenance drains, PM failures, and PM re-adds (possibly with a newer
+#: hardware generation).
+EVENT_KINDS = ("arrival", "exit", "resize", "pm_drain", "pm_fail", "pm_add")
+
 
 @dataclass(frozen=True)
 class ClusterEvent:
-    """A single VM arrival or exit at ``time_s`` seconds from the VMR request."""
+    """One cluster mutation at ``time_s`` seconds from the stream origin.
+
+    The legacy two-kind constructor path (``arrival`` with a
+    ``vm_type_name``, ``exit`` with an optional ``vm_id``) is unchanged and
+    remains what :mod:`repro.analysis.dynamics` replays for Fig. 5.  The
+    simulator kinds use the extra fields:
+
+    * ``resize`` — ``vm_id`` (or ``None``: the engine picks one) changes its
+      flavor to ``vm_type_name`` (or ``None``: the engine samples a
+      neighboring flavor).
+    * ``pm_drain`` / ``pm_fail`` — ``pm_id`` (or ``None``: engine-picked) is
+      drained (VMs migrated off best-fit) or fails (VMs are lost), then
+      leaves the cluster.
+    * ``pm_add`` — a new PM joins; ``pm_type_name`` + ``pm_cpu`` +
+      ``pm_memory`` describe its (possibly newer-generation) capacity, all
+      optional (the engine defaults to its hardware-generation schedule).
+
+    Events round-trip through :meth:`to_dict` / :meth:`from_dict`, the basis
+    of the JSONL trace format (:mod:`repro.sim.trace`).
+    """
 
     time_s: float
-    kind: str  # "arrival" or "exit"
+    kind: str  # one of EVENT_KINDS
     vm_type_name: Optional[str] = None
     vm_id: Optional[int] = None
+    pm_id: Optional[int] = None
+    pm_type_name: Optional[str] = None
+    pm_cpu: Optional[int] = None
+    pm_memory: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("arrival", "exit"):
-            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; known: {EVENT_KINDS}")
+        if not isinstance(self.time_s, (int, float)) or isinstance(self.time_s, bool):
+            raise ValueError(f"time_s must be a number, got {self.time_s!r}")
+        if self.time_s < 0:
+            raise ValueError(f"time_s must not be negative, got {self.time_s!r}")
+
+    def to_dict(self) -> Dict:
+        """Compact dict form: ``time_s``/``kind`` plus only the set fields."""
+        payload: Dict = {"time_s": float(self.time_s), "kind": self.kind}
+        for field_name in ("vm_type_name", "vm_id", "pm_id", "pm_type_name",
+                           "pm_cpu", "pm_memory"):
+            value = getattr(self, field_name)
+            if value is not None:
+                payload[field_name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ClusterEvent":
+        if not isinstance(payload, dict):
+            raise ValueError(f"event payload must be a dict, got {type(payload).__name__}")
+        unknown = set(payload) - {
+            "time_s", "kind", "vm_type_name", "vm_id", "pm_id", "pm_type_name",
+            "pm_cpu", "pm_memory",
+        }
+        if unknown:
+            raise ValueError(f"unknown event fields: {sorted(unknown)}")
+        if "time_s" not in payload or "kind" not in payload:
+            raise ValueError("event payload requires 'time_s' and 'kind'")
+        ints = {
+            key: (None if payload.get(key) is None else int(payload[key]))
+            for key in ("vm_id", "pm_id", "pm_cpu", "pm_memory")
+        }
+        return cls(
+            time_s=float(payload["time_s"]),
+            kind=str(payload["kind"]),
+            vm_type_name=payload.get("vm_type_name"),
+            pm_type_name=payload.get("pm_type_name"),
+            **ints,
+        )
 
 
 def diurnal_rate_profile(
@@ -149,6 +217,11 @@ def apply_events(
     for event in sorted(events, key=lambda e: e.time_s):
         if event.time_s > until_s:
             break
+        if event.kind not in ("arrival", "exit"):
+            # Simulator-only kinds (resize, PM lifecycle) need engine state
+            # (rng schedules, generation counters); the one-shot Fig. 5
+            # replay ignores them.  See repro.sim.engine.LivingCluster.
+            continue
         if event.kind == "exit":
             if event.vm_id is not None and event.vm_id in state.vms:
                 state.remove_vm_from_cluster(event.vm_id)

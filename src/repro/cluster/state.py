@@ -378,6 +378,41 @@ class ClusterState:
         if placement is not None:
             self.place_vm(vm.vm_id, placement)
 
+    def add_pm(self, pm: PhysicalMachine) -> None:
+        """Add a new (empty) PM — a maintenance re-add or capacity expansion.
+
+        The PM may carry a different :class:`~repro.cluster.vm_types.PMType`
+        than the incumbents (a newer hardware generation).  Structural change:
+        the SoA view and the sorted-id caches are dropped and rebuilt lazily.
+        """
+        if pm.pm_id in self.pms:
+            raise ValueError(f"PM id {pm.pm_id} already exists")
+        if pm.vm_ids:
+            raise ValueError(f"PM {pm.pm_id} must join the cluster empty")
+        self.pms[pm.pm_id] = pm
+        self._owned_pms.add(pm.pm_id)
+        self._soa = None
+        self._sorted_pm_ids = None
+
+    def remove_pm(self, pm_id: int) -> None:
+        """Delete an *empty* PM (completed maintenance drain or failure).
+
+        The caller is responsible for getting the hosted VMs off first —
+        migrating them on a drain, removing them on a failure; a non-empty PM
+        raises so resource accounting can never be silently lost.  Dropping
+        the SoA here is load-bearing even though ``matches()`` only compares
+        counts: a remove+add pair of the same count must still rebuild.
+        """
+        pm = self.pms[pm_id]
+        if pm.vm_ids:
+            raise ValueError(f"PM {pm_id} still hosts VMs {sorted(pm.vm_ids)}")
+        if len(self.pms) == 1:
+            raise ValueError("cannot remove the last PM of a cluster")
+        del self.pms[pm_id]
+        self._owned_pms.discard(pm_id)
+        self._soa = None
+        self._sorted_pm_ids = None
+
     # ------------------------------------------------------------------ #
     # Metrics
     # ------------------------------------------------------------------ #

@@ -30,10 +30,14 @@ from .schema import DatasetMetadata, SchemaError, mapping_summary, validate_mapp
 from .splits import PAPER_SPLIT_FRACTIONS, build_dataset, load_dataset, split_mappings
 from .workloads import (
     WORKLOAD_BANDS,
+    WORKLOAD_FAMILIES,
     WorkloadLevel,
+    abnormal_rate_profile,
     cpu_usage_cdf,
     cpu_usage_samples,
     daily_arrival_exit_series,
+    family_rate_profile,
+    flash_crowd_rate_profile,
     generate_workload_snapshots,
     get_workload_level,
     offpeak_minute,
@@ -51,11 +55,15 @@ __all__ = [
     "SchemaError",
     "SnapshotGenerator",
     "WORKLOAD_BANDS",
+    "WORKLOAD_FAMILIES",
     "WorkloadLevel",
+    "abnormal_rate_profile",
     "build_dataset",
     "cpu_usage_cdf",
     "cpu_usage_samples",
     "daily_arrival_exit_series",
+    "family_rate_profile",
+    "flash_crowd_rate_profile",
     "generate_workload_snapshots",
     "get_spec",
     "get_workload_level",

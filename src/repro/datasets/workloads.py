@@ -136,3 +136,92 @@ def daily_arrival_exit_series(
 def offpeak_minute(series: Dict[str, np.ndarray]) -> int:
     """The minute of the day with the fewest VM changes (when VMR runs)."""
     return int(np.argmin(series["total"]))
+
+
+# --------------------------------------------------------------------------- #
+# Workload families for the living-cluster simulator (repro.sim)
+# --------------------------------------------------------------------------- #
+#: Synthetic churn families the trace-driven simulator supports.
+WORKLOAD_FAMILIES = ("diurnal", "flash_crowd", "abnormal")
+
+
+def flash_crowd_rate_profile(
+    base_per_minute: float = 6.0,
+    spike_per_minute: float = 120.0,
+    spike_minutes: Sequence[int] = (11 * 60, 20 * 60),
+    spike_width_min: float = 20.0,
+) -> np.ndarray:
+    """Per-minute change rate for a flash-crowd day: calm baseline + spikes.
+
+    Each entry of ``spike_minutes`` is the center of a Gaussian burst of
+    arrivals (a product launch, a breaking-news surge) whose peak adds
+    ``spike_per_minute - base_per_minute`` on top of the flat baseline.
+    """
+    if spike_per_minute <= base_per_minute:
+        raise ValueError("spike rate must exceed the baseline rate")
+    if spike_width_min <= 0:
+        raise ValueError("spike_width_min must be positive")
+    minutes = np.arange(24 * 60)
+    rates = np.full(24 * 60, float(base_per_minute))
+    for center in spike_minutes:
+        bump = np.exp(-0.5 * ((minutes - float(center)) / spike_width_min) ** 2)
+        rates += (spike_per_minute - base_per_minute) * bump
+    return rates
+
+
+def abnormal_rate_profile(
+    rng: np.random.Generator,
+    low_per_minute: float = 3.0,
+    high_per_minute: float = 60.0,
+    segment_minutes: int = 90,
+) -> np.ndarray:
+    """Per-minute change rate for an abnormal day: regime-switching bursts.
+
+    The day is cut into ``segment_minutes`` segments, each drawing its own
+    rate log-uniformly between the low and high levels — the "abnormal
+    workload" analogue of Table 5, where the mix looks nothing like the
+    diurnal training distribution.  Deterministic given ``rng``.
+    """
+    if low_per_minute <= 0 or high_per_minute <= low_per_minute:
+        raise ValueError("need 0 < low_per_minute < high_per_minute")
+    if segment_minutes <= 0:
+        raise ValueError("segment_minutes must be positive")
+    num_segments = -(-(24 * 60) // segment_minutes)
+    levels = np.exp(
+        rng.uniform(np.log(low_per_minute), np.log(high_per_minute), size=num_segments)
+    )
+    return np.repeat(levels, segment_minutes)[: 24 * 60]
+
+
+def family_rate_profile(
+    family: str,
+    rng: np.random.Generator,
+    peak_per_minute: float = 80.0,
+    trough_per_minute: float = 6.0,
+) -> np.ndarray:
+    """One day's per-minute change rates for a named workload family.
+
+    ``diurnal`` is the Fig. 1 raised cosine; ``flash_crowd`` is a calm
+    baseline with sharp bursts; ``abnormal`` switches regimes every ~90
+    minutes.  Only ``abnormal`` (regime draws) and ``flash_crowd`` (spike
+    centers) consume randomness, so the stream stays reproducible per day.
+    """
+    from ..cluster import diurnal_rate_profile
+
+    key = family.lower().replace("-", "_")
+    if key == "diurnal":
+        return diurnal_rate_profile(peak_per_minute, trough_per_minute)
+    if key == "flash_crowd":
+        centers = rng.integers(0, 24 * 60, size=2)
+        return flash_crowd_rate_profile(
+            base_per_minute=trough_per_minute,
+            spike_per_minute=max(peak_per_minute, trough_per_minute * 1.5 + 1.0),
+            spike_minutes=[int(c) for c in centers],
+        )
+    if key == "abnormal":
+        return abnormal_rate_profile(
+            rng,
+            low_per_minute=max(trough_per_minute / 2.0, 1e-3),
+            high_per_minute=max(peak_per_minute, trough_per_minute + 1e-3),
+        )
+    raise KeyError(f"unknown workload family {family!r}; known: {WORKLOAD_FAMILIES}")

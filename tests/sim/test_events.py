@@ -1,0 +1,113 @@
+"""Hardened ClusterEvent: validation, dict round-trips, legacy compatibility."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterEvent,
+    EVENT_KINDS,
+    EventGenerator,
+    apply_events,
+)
+from repro.datasets import ClusterSpec, SnapshotGenerator
+
+import numpy as np
+
+
+def small_state(seed=0):
+    spec = ClusterSpec(num_pms=6, target_utilization=0.6, best_fit_fraction=0.3)
+    return SnapshotGenerator(spec, seed=seed).generate()
+
+
+class TestValidation:
+    def test_all_kinds_constructible(self):
+        for kind in EVENT_KINDS:
+            event = ClusterEvent(time_s=1.5, kind=kind)
+            assert event.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            ClusterEvent(time_s=0.0, kind="defrag")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ClusterEvent(time_s=-0.1, kind="arrival")
+
+    @pytest.mark.parametrize("bad_time", [True, "12", None, [1.0]])
+    def test_non_numeric_time_rejected(self, bad_time):
+        with pytest.raises(ValueError):
+            ClusterEvent(time_s=bad_time, kind="arrival")
+
+    def test_zero_time_allowed(self):
+        assert ClusterEvent(time_s=0, kind="exit").time_s == 0
+
+
+class TestRoundTrip:
+    EXAMPLES = [
+        ClusterEvent(time_s=1.0, kind="arrival", vm_type_name="large"),
+        ClusterEvent(time_s=2.0, kind="exit", vm_id=7),
+        ClusterEvent(time_s=3.0, kind="resize", vm_id=7, vm_type_name="xlarge"),
+        ClusterEvent(time_s=4.0, kind="resize"),
+        ClusterEvent(time_s=5.0, kind="pm_drain", pm_id=2),
+        ClusterEvent(time_s=6.0, kind="pm_fail"),
+        ClusterEvent(time_s=7.0, kind="pm_add", pm_type_name="big", pm_cpu=128, pm_memory=512),
+    ]
+
+    @pytest.mark.parametrize("event", EXAMPLES, ids=lambda e: f"{e.kind}@{e.time_s}")
+    def test_to_from_dict_round_trip(self, event):
+        assert ClusterEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_omits_unset_fields(self):
+        payload = ClusterEvent(time_s=1.0, kind="exit", vm_id=3).to_dict()
+        assert payload == {"time_s": 1.0, "kind": "exit", "vm_id": 3}
+
+    def test_from_dict_coerces_int_fields(self):
+        event = ClusterEvent.from_dict(
+            {"time_s": "2.5", "kind": "pm_add", "pm_cpu": "64", "pm_memory": 256.0}
+        )
+        assert event.time_s == 2.5
+        assert event.pm_cpu == 64 and event.pm_memory == 256
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown event fields"):
+            ClusterEvent.from_dict({"time_s": 1.0, "kind": "exit", "priority": 9})
+
+    def test_from_dict_requires_time_and_kind(self):
+        with pytest.raises(ValueError, match="requires"):
+            ClusterEvent.from_dict({"kind": "exit"})
+        with pytest.raises(ValueError, match="requires"):
+            ClusterEvent.from_dict({"time_s": 1.0})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            ClusterEvent.from_dict([1.0, "exit"])
+
+
+class TestLegacyCompatibility:
+    """The two-kind Fig. 1 / Fig. 5 path must keep working unchanged."""
+
+    def test_event_generator_stream_unchanged(self):
+        state = small_state()
+        generator = EventGenerator(rng=np.random.default_rng(0))
+        events = generator.generate(120.0, state=state)
+        assert events, "expected a non-empty stream"
+        assert all(e.kind in ("arrival", "exit") for e in events)
+
+    def test_apply_events_replays_arrivals_and_exits(self):
+        state = small_state()
+        generator = EventGenerator(rng=np.random.default_rng(1))
+        events = generator.generate(300.0, state=state)
+        stats = apply_events(state, events, until_s=300.0, rng=np.random.default_rng(1))
+        assert stats["arrivals"] + stats["exits"] + stats["failed_arrivals"] > 0
+
+    def test_apply_events_ignores_simulator_kinds(self):
+        state = small_state()
+        num_pms = state.num_pms
+        events = [
+            ClusterEvent(time_s=1.0, kind="pm_drain", pm_id=0),
+            ClusterEvent(time_s=2.0, kind="pm_fail"),
+            ClusterEvent(time_s=3.0, kind="resize"),
+            ClusterEvent(time_s=4.0, kind="pm_add"),
+        ]
+        stats = apply_events(state, events, until_s=10.0)
+        assert stats == {"arrivals": 0, "exits": 0, "failed_arrivals": 0}
+        assert state.num_pms == num_pms

@@ -1,0 +1,179 @@
+"""OnlineRescheduler: determinism, StepCache parity, failure handling, drift."""
+
+import json
+
+import pytest
+
+from repro.datasets import ClusterSpec, SnapshotGenerator
+from repro.serve import PlanError, ReschedulingService, ServiceConfig, build_default_registry
+from repro.sim import (
+    ChurnSpec,
+    DriftConfig,
+    DriftMonitor,
+    LivingCluster,
+    OnlineRescheduler,
+    SimulationConfig,
+    SyntheticTrace,
+    invalidation_rate,
+    steady_state_mean,
+)
+
+DAY_S = 86400.0
+
+
+def build_cluster(seed=0, num_pms=6, horizon_s=DAY_S, churn=None):
+    spec = ClusterSpec(num_pms=num_pms, target_utilization=0.6, best_fit_fraction=0.3)
+    state = SnapshotGenerator(spec, seed=seed).generate()
+    churn = churn or ChurnSpec(drains_per_day=4.0, failures_per_day=2.0, adds_per_day=6.0,
+                               resizes_per_hour=2.0)
+    events = SyntheticTrace(churn, seed=seed + 1).generate(horizon_s)
+    return LivingCluster(state, events, seed=seed + 2)
+
+
+def build_service(step_cache=True, seed=0):
+    return ReschedulingService(
+        build_default_registry(include_slow=False, seed=seed),
+        ServiceConfig(rl_step_cache=step_cache),
+    )
+
+
+def run_simulation(planner="ha", step_cache=True, seed=0, max_rounds=6, on_round=None):
+    cluster = build_cluster(seed=seed)
+    service = build_service(step_cache=step_cache)
+    config = SimulationConfig(
+        planner=planner, migration_limit=4, replan_every_s=3600.0,
+        plan_delay_s=120.0, horizon_s=DAY_S, seed=seed, max_rounds=max_rounds,
+    )
+    driver = OnlineRescheduler(cluster, service.handle, config, on_round=on_round)
+    report = driver.run()
+    cluster.state.arrays().assert_in_sync(cluster.state)
+    return report
+
+
+class TestDeterminism:
+    def test_same_seed_identical_report(self):
+        first = run_simulation(seed=3).deterministic_dict()
+        second = run_simulation(seed=3).deterministic_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_step_cache_parity_with_rl_planner(self):
+        """Cached incremental replanning must match fresh recompute exactly."""
+        cached = run_simulation(planner="vmr2l", step_cache=True, seed=5)
+        fresh = run_simulation(planner="vmr2l", step_cache=False, seed=5)
+        assert json.dumps(cached.deterministic_dict(), sort_keys=True) == json.dumps(
+            fresh.deterministic_dict(), sort_keys=True
+        )
+
+    def test_round_structure(self):
+        report = run_simulation(seed=1, max_rounds=4)
+        assert len(report.rounds) == 4
+        assert [r.round_index for r in report.rounds] == [0, 1, 2, 3]
+        assert all(r.time_s == (i + 1) * 3600.0 for i, r in enumerate(report.rounds))
+        assert report.failed_rounds == 0
+
+
+class TestFailureHandling:
+    def test_plan_errors_are_recorded_not_raised(self):
+        cluster = build_cluster(seed=7)
+
+        def failing_plan(request):
+            return PlanError(request_id=request.request_id,
+                             code="service_unavailable", message="down")
+
+        config = SimulationConfig(planner="ha", replan_every_s=3600.0,
+                                  plan_delay_s=60.0, horizon_s=DAY_S, max_rounds=3)
+        report = OnlineRescheduler(cluster, failing_plan, config).run()
+        assert report.failed_rounds == 3
+        assert all(r.error_code == "service_unavailable" for r in report.rounds)
+        # Churn still advanced despite every round failing.
+        assert cluster.now_s == DAY_S
+
+    def test_flaky_backend_partial_failure(self):
+        cluster = build_cluster(seed=8)
+        service = build_service()
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                return PlanError(request_id=request.request_id,
+                                 code="internal_error", message="boom")
+            return service.handle(request)
+
+        config = SimulationConfig(planner="ha", replan_every_s=3600.0,
+                                  plan_delay_s=60.0, horizon_s=DAY_S, max_rounds=4)
+        report = OnlineRescheduler(cluster, flaky, config).run()
+        assert report.failed_rounds == 1
+        assert report.rounds[1].ok is False
+        assert [r.ok for r in report.rounds] == [True, False, True, True]
+
+    def test_on_round_hook_fires_every_round(self):
+        seen = []
+        run_simulation(seed=2, max_rounds=3, on_round=lambda r: seen.append(r.round_index))
+        assert seen == [0, 1, 2]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replan_every_s": 0.0},
+            {"plan_delay_s": -1.0},
+            {"plan_delay_s": 3600.0, "replan_every_s": 3600.0},
+            {"horizon_s": 0.0},
+            {"max_rounds": 0},
+            {"steady_state_fraction": 0.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestDriftMonitor:
+    def test_fires_on_sustained_degradation(self):
+        monitor = DriftMonitor(DriftConfig(window=4, baseline_window=8, threshold=0.2))
+        fired = []
+        monitor.add_hook(lambda event: fired.append(event))
+        for _ in range(12):
+            monitor.observe(0.10)
+        assert monitor.events == []
+        event = None
+        for _ in range(6):
+            event = event or monitor.observe(0.20)
+        assert event is not None
+        assert event.degradation > 0.2
+        assert fired and fired[0] is monitor.events[0]
+
+    def test_quiet_on_stable_series(self):
+        monitor = DriftMonitor(DriftConfig(window=4, baseline_window=8, threshold=0.2))
+        for i in range(50):
+            monitor.observe(0.10 + 0.001 * (i % 3))
+        assert monitor.events == []
+
+    def test_improvement_never_fires(self):
+        monitor = DriftMonitor(DriftConfig(window=4, baseline_window=8, threshold=0.1))
+        for value in [0.3] * 12 + [0.05] * 12:
+            monitor.observe(value)
+        assert monitor.events == []
+
+    def test_cooldown_suppresses_refiring(self):
+        config = DriftConfig(window=4, baseline_window=8, threshold=0.2, cooldown=100)
+        monitor = DriftMonitor(config)
+        for value in [0.1] * 12 + [0.5] * 30:
+            monitor.observe(value)
+        assert len(monitor.events) == 1
+
+
+class TestSummaries:
+    def test_steady_state_mean_uses_tail(self):
+        series = [1.0] * 5 + [0.0] * 5
+        assert steady_state_mean(series, 0.5) == 0.0
+        assert steady_state_mean(series, 1.0) == 0.5
+
+    def test_steady_state_mean_empty_is_nan(self):
+        assert steady_state_mean([]) != steady_state_mean([])  # NaN
+
+    def test_invalidation_rate(self):
+        assert invalidation_rate(0, 0) == 0.0
+        assert invalidation_rate(10, 3) == pytest.approx(0.3)
