@@ -47,6 +47,8 @@ from .datasets import (
     spec_for_workload,
 )
 from .serve import (
+    AutoscaleConfig,
+    BrownoutConfig,
     DefaultRegistryFactory,
     FleetConfig,
     PlanError,
@@ -158,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "shared read-only weights (0 = single in-process service)")
     serve.add_argument("--start-method", default=None, choices=["fork", "spawn"],
                        help="multiprocessing start method for --replicas (default spawn)")
+    serve.add_argument("--min-replicas", type=int, default=0,
+                       help="lower bound for the fleet autoscaler (0 = autoscaler off)")
+    serve.add_argument("--max-replicas", type=int, default=0,
+                       help="upper bound for the fleet autoscaler; setting it "
+                            "enables closed-loop scaling between the bounds "
+                            "(implies a fleet even without --replicas)")
+    serve.add_argument("--brownout", action="store_true",
+                       help="enable the overload brownout ladder (L0 normal ... "
+                            "L4 shed) on the service / fleet")
     serve.add_argument("--drain-timeout-s", type=float, default=30.0,
                        help="graceful-drain budget on SIGTERM")
     serve.add_argument("--max-batch-size", type=int, default=8,
@@ -243,6 +254,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "in-process (e.g. http://127.0.0.1:8731)")
     simulate.add_argument("--retries", type=int, default=3,
                           help="transient-failure retries per request with --url")
+    simulate.add_argument("--autoscale", action="store_true",
+                          help="serve planning from an in-process replica fleet "
+                               "with the closed-loop autoscaler and brownout "
+                               "ladder enabled (see docs/serving.md)")
+    simulate.add_argument("--min-replicas", type=int, default=1,
+                          help="autoscaler lower bound with --autoscale")
+    simulate.add_argument("--max-replicas", type=int, default=3,
+                          help="autoscaler upper bound with --autoscale")
+    simulate.add_argument("--fallback-planner", default=None,
+                          help="registry key the brownout ladder degrades to at "
+                               "L3 with --autoscale (default 'ha')")
+    simulate.add_argument("--load-base", type=int, default=1,
+                          help="baseline concurrent plan requests per round")
+    simulate.add_argument("--load-per-event", type=float, default=0.0,
+                          help="extra concurrent requests per churn event in the "
+                               "preceding interval (couples cluster churn to "
+                               "offered planning load)")
+    simulate.add_argument("--load-max", type=int, default=32,
+                          help="cap on concurrent requests per round")
     simulate.add_argument("--json", action="store_true")
     return parser
 
@@ -317,6 +347,7 @@ def _build_service(args, max_batch_size: int = 8) -> ReschedulingService:
         max_queue_depth=getattr(args, "max_queue_depth", 0),
         deadline_policy=getattr(args, "deadline_policy", "partial"),
         fallback_planner=getattr(args, "fallback_planner", None),
+        brownout=BrownoutConfig() if getattr(args, "brownout", False) else None,
     )
     return ReschedulingService(registry, config)
 
@@ -414,6 +445,14 @@ def _build_fleet(args) -> ReplicaFleet:
     factory = DefaultRegistryFactory.from_agent(
         agent, include_slow=not getattr(args, "fast_only", False)
     )
+    autoscale = None
+    max_replicas = getattr(args, "max_replicas", 0) or 0
+    if max_replicas > 0:
+        autoscale = AutoscaleConfig(
+            min_replicas=max(getattr(args, "min_replicas", 0) or 0, 1),
+            max_replicas=max_replicas,
+        )
+    brownout = BrownoutConfig() if getattr(args, "brownout", False) else None
     service_config = ServiceConfig(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
@@ -421,12 +460,51 @@ def _build_fleet(args) -> ReplicaFleet:
         eval_workers=args.eval_workers,
         deadline_policy=args.deadline_policy,
         fallback_planner=args.fallback_planner,
+        brownout=brownout,
     )
     fleet_config = FleetConfig(
-        num_replicas=args.replicas,
+        num_replicas=args.replicas or (autoscale.min_replicas if autoscale else 0),
         start_method=args.start_method,
         max_inflight=args.max_queue_depth,
         drain_timeout_s=args.drain_timeout_s,
+        autoscale=autoscale,
+        brownout=brownout,
+    )
+    return ReplicaFleet(factory, config=fleet_config, service_config=service_config)
+
+
+def _build_sim_fleet(args) -> ReplicaFleet:
+    """The in-process autoscaled fleet behind ``repro simulate --autoscale``.
+
+    Tuned for a short-lived simulation driver rather than a long-running
+    server: fork replicas, tight heartbeat/supervise intervals so scale and
+    brownout decisions land within a simulation round, and the full brownout
+    ladder enabled (L3 degrades to ``--fallback-planner``, default ``ha``).
+    """
+    agent = (
+        VMR2LAgent.load(args.checkpoint) if args.checkpoint else VMR2LAgent(seed=0)
+    )
+    factory = DefaultRegistryFactory.from_agent(
+        agent, include_slow=not getattr(args, "fast_only", False)
+    )
+    brownout = BrownoutConfig()
+    service_config = ServiceConfig(
+        rl_step_cache=not args.no_step_cache,
+        fallback_planner=args.fallback_planner or "ha",
+        brownout=brownout,
+    )
+    fleet_config = FleetConfig(
+        num_replicas=max(args.min_replicas, 1),
+        start_method="fork",
+        heartbeat_interval_s=0.05,
+        supervise_interval_s=0.05,
+        restart_backoff_s=0.1,
+        autoscale=AutoscaleConfig(
+            min_replicas=max(args.min_replicas, 1),
+            max_replicas=args.max_replicas,
+        ),
+        brownout=brownout,
+        seed=args.seed,
     )
     return ReplicaFleet(factory, config=fleet_config, service_config=service_config)
 
@@ -444,7 +522,8 @@ def cmd_serve(args) -> Dict:
         print(json.dumps(payload, indent=None if args.json else 2, default=str))
         return payload
 
-    if args.replicas > 0:
+    fleet_mode = args.replicas > 0 or args.max_replicas > 0
+    if fleet_mode:
         backend = _build_fleet(args)
         backend.start()
         described = backend.registry.describe()
@@ -456,7 +535,13 @@ def cmd_serve(args) -> Dict:
         backend, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = server.address
-    mode = f"{args.replicas} replicas" if args.replicas > 0 else "single process"
+    if args.max_replicas > 0:
+        mode = (f"autoscaled fleet {max(args.min_replicas, 1)}.."
+                f"{args.max_replicas} replicas")
+    elif args.replicas > 0:
+        mode = f"{args.replicas} replicas"
+    else:
+        mode = "single process"
     print(f"repro serve: listening on http://{host}:{port} ({mode}; "
           f"planners: {planners})", file=sys.stderr)
 
@@ -521,7 +606,18 @@ def cmd_simulate(args) -> Dict:
 
     cluster = LivingCluster(state, events, seed=args.seed)
     planner_key = args.planner or ("vmr2l" if args.checkpoint else "ha")
-    if args.url:
+    fleet = None
+    control_plane_stats = None
+    if args.autoscale:
+        if args.url:
+            raise SystemExit(
+                "--autoscale runs an in-process fleet and is incompatible with --url"
+            )
+        fleet = _build_sim_fleet(args)
+        fleet.start()
+        plan_fn = fleet.plan
+        control_plane_stats = fleet.control_plane_stats
+    elif args.url:
         plan_fn = _make_client(args).plan
     else:
         registry = build_default_registry(
@@ -545,8 +641,17 @@ def cmd_simulate(args) -> Dict:
         seed=args.seed,
         deadline_ms=args.deadline_ms,
         max_rounds=args.max_rounds,
+        load_base=args.load_base,
+        load_per_event=args.load_per_event,
+        load_max=args.load_max,
     )
-    report = OnlineRescheduler(cluster, plan_fn, config).run()
+    try:
+        report = OnlineRescheduler(
+            cluster, plan_fn, config, control_plane_stats=control_plane_stats
+        ).run()
+    finally:
+        if fleet is not None:
+            fleet.stop()
     payload = report.to_dict()
     if args.json:
         print(json.dumps(payload, indent=2, default=str))
@@ -564,6 +669,13 @@ def cmd_simulate(args) -> Dict:
             "exits": stats["exits"],
             "pm_churn": stats["drains"] + stats["failures"] + stats["adds"],
         }
+        control = payload.get("control_plane") or {}
+        if control:
+            row["offered"] = payload.get("offered_requests", payload["num_rounds"])
+            row["scale_ups"] = control.get("scale_ups", 0)
+            row["scale_downs"] = control.get("scale_downs", 0)
+            row["shed"] = control.get("shed", 0)
+            row["brownouts"] = control.get("brownout_transitions", 0)
         print(format_table([row], title=f"simulation over {horizon_s / 86400.0:g} day(s)"))
     return payload
 

@@ -19,6 +19,14 @@ See ``docs/serving.md`` for the API reference and a curl example, and
 ``docs/robustness.md`` for the failure-mode contract the fleet upholds.
 """
 
+from .autoscale import (
+    BROWNOUT_LEVEL_NAMES,
+    AutoscaleConfig,
+    Autoscaler,
+    BrownoutConfig,
+    BrownoutController,
+    FleetLoad,
+)
 from .client import PlanningClient
 from .fleet import DefaultRegistryFactory, FleetConfig, ReplicaFleet
 from .registry import (
@@ -41,8 +49,14 @@ from .server import PlanningServer
 from .service import ReschedulingService, ServiceConfig
 
 __all__ = [
+    "BROWNOUT_LEVEL_NAMES",
     "SCHEMA_VERSION",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BaselinePlanner",
+    "BrownoutConfig",
+    "BrownoutController",
+    "FleetLoad",
     "DefaultRegistryFactory",
     "FleetConfig",
     "Planner",

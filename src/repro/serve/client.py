@@ -39,8 +39,16 @@ _RETRYABLE_STATUSES = frozenset({503})
 class PlanningClient:
     """HTTP client with bounded, jittered, Retry-After-aware retries.
 
-    ``sleep`` is injectable so tests assert backoff schedules without real
-    waiting.  ``seed`` makes the jitter reproducible.
+    Retries are bounded twice over: by *count* (``retry.max_retries``) and by
+    *time* — ``max_elapsed_s`` caps the total attempt-plus-backoff budget, and
+    when a request carries ``deadline_ms`` that deadline is the budget by
+    default.  Without the time bound, ``max_retries`` jittered backoffs plus
+    server ``Retry-After`` floors could keep a caller waiting long past the
+    deadline it attached to the request.
+
+    ``sleep`` and ``clock`` are injectable so tests assert backoff schedules
+    and budget cutoffs without real waiting.  ``seed`` makes the jitter
+    reproducible.
     """
 
     def __init__(
@@ -50,11 +58,15 @@ class PlanningClient:
         timeout_s: float = 300.0,
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        max_elapsed_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.url = url.rstrip("/")
         self.retry = retry if retry is not None else RetryPolicy(max_retries=3)
         self.timeout_s = timeout_s
+        self.max_elapsed_s = max_elapsed_s
         self._sleep = sleep
+        self._clock = clock
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -64,8 +76,16 @@ class PlanningClient:
         Always returns a terminal :class:`PlanResponse` or :class:`PlanError`
         — exhausting the retry budget yields the last transient error (as a
         stable ``service_unavailable`` if the failure was connection-level).
+        A retry whose backoff would overrun the elapsed budget (explicit
+        ``max_elapsed_s``, else the request's own ``deadline_ms``) is not
+        taken: the last reply is returned instead of sleeping past the
+        caller's deadline.
         """
         body = request.to_json().encode("utf-8")
+        budget_s = self.max_elapsed_s
+        if budget_s is None and request.deadline_ms is not None:
+            budget_s = float(request.deadline_ms) / 1e3
+        started = self._clock()
         attempt = 0
         while True:
             reply, retry_after_s, retryable = self._attempt(request, body)
@@ -75,6 +95,10 @@ class PlanningClient:
             delay = self.retry.backoff(attempt, rng=self._rng)
             if retry_after_s is not None:
                 delay = max(delay, retry_after_s)
+            if budget_s is not None and (
+                self._clock() - started
+            ) + delay >= budget_s:
+                return reply
             self._sleep(delay)
 
     def healthz(self) -> Dict:

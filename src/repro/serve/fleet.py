@@ -63,6 +63,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..env.shared_memory import SharedModuleWeights
+from .autoscale import (
+    Autoscaler,
+    AutoscaleConfig,
+    BrownoutConfig,
+    BrownoutController,
+    FleetLoad,
+)
 from .registry import build_default_registry
 from .router import ReplicaView, RetryPolicy, choose_replica
 from .schemas import PlanError, PlanRequest, SchemaError, response_from_dict
@@ -185,6 +192,7 @@ def _replica_main(
                         "queue_depth": service.pending_count(),
                         "handled": int(service.stats()["requests"]),
                         "draining": service.is_draining,
+                        "brownout_level": service.brownout_level,
                     },
                 )
             )
@@ -299,6 +307,15 @@ class FleetConfig:
     drain_timeout_s: float = 30.0
     #: Seeds the retry/restart jitter.
     seed: int = 0
+    #: Closed-loop replica autoscaling between ``min_replicas`` and
+    #: ``max_replicas`` (see :class:`AutoscaleConfig`).  ``None`` keeps the
+    #: fleet fixed at ``num_replicas`` — the pre-autoscaler behavior.
+    autoscale: Optional[AutoscaleConfig] = None
+    #: Fleet-level brownout ladder: L4 sheds at admission, L2 stamps reduced
+    #: deadlines onto dispatched requests, and the level is exported via
+    #: ``/v1/state``.  Replica-*internal* ladders come from
+    #: ``service_config.brownout`` instead.  ``None`` disables.
+    brownout: Optional[BrownoutConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_replicas < 1:
@@ -353,7 +370,10 @@ class _Replica:
         self.queue_depth = 0
         self.handled = 0
         self.draining = False  # replica-service-side (from heartbeat)
-        self.routing_paused = False  # router-side (rolling restart)
+        self.routing_paused = False  # router-side (rolling restart / retiring)
+        self.desired = True  # autoscaler wants this slot populated
+        self.retiring = False  # scale-down in progress: drain, then stop
+        self.brownout_level = 0  # replica-service-side (from heartbeat)
         self.eof = False
         self.fatal: Optional[str] = None
         self.restarts = 0
@@ -400,7 +420,31 @@ class ReplicaFleet:
         # the fleet (max_inflight), not per replica — a shed must happen
         # before a request crosses a pipe, not after.
         self.service_config = service_config or ServiceConfig()
-        self._replicas = [_Replica(i) for i in range(self.config.num_replicas)]
+        # With autoscaling, slots exist up to max_replicas but only the
+        # initial count is *desired* (spawned); scale-up re-populates spare
+        # slots, scale-down retires the extras drain-before-kill.
+        autoscale = self.config.autoscale
+        if autoscale is not None:
+            num_slots = autoscale.max_replicas
+            initial = min(
+                max(self.config.num_replicas, autoscale.min_replicas),
+                autoscale.max_replicas,
+            )
+        else:
+            num_slots = initial = self.config.num_replicas
+        self._replicas = [_Replica(i) for i in range(num_slots)]
+        for replica in self._replicas[initial:]:
+            replica.desired = False
+        self._autoscaler = (
+            Autoscaler(autoscale, initial_replicas=initial)
+            if autoscale is not None
+            else None
+        )
+        self._brownout = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
         self._lock = threading.Lock()
         self._tickets = itertools.count()
         self._inflight: Dict[int, _InFlight] = {}
@@ -422,6 +466,8 @@ class ReplicaFleet:
             "restarts": 0,
             "replica_failures": 0,
             "rolls": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -435,13 +481,16 @@ class ReplicaFleet:
             raise RuntimeError("a stopped fleet cannot be restarted; build a new one")
         self._started = True
         for replica in self._replicas:
-            self._spawn(replica)
+            if replica.desired:
+                self._spawn(replica)
         self._supervisor = threading.Thread(
             target=self._supervise_loop, name="fleet-supervisor", daemon=True
         )
         self._supervisor.start()
         deadline = time.monotonic() + (timeout or self.config.ready_timeout_s)
         for replica in self._replicas:
+            if not replica.desired:
+                continue
             while not replica.ready and time.monotonic() < deadline:
                 if replica.fatal is not None:
                     self.stop()
@@ -531,6 +580,8 @@ class ReplicaFleet:
         for replica in self._replicas:
             if self._stopped:
                 return
+            if not replica.desired:
+                continue  # spare autoscale slot: nothing to roll
             deadline = time.monotonic() + timeout_per_replica
             with self._lock:
                 replica.routing_paused = True
@@ -571,6 +622,21 @@ class ReplicaFleet:
                     request.request_id,
                     "service_unavailable",
                     "fleet is draining and no longer admits requests",
+                    retry_after_s=retry_after,
+                )
+            )
+            return future
+        # Brownout L4: the supervisor's smoothed-load controller says the
+        # fleet is past saturation — shed *new* arrivals (the backlog keeps
+        # draining) with a Retry-After hint.
+        if self._brownout is not None and self._brownout.shedding:
+            with self._lock:
+                self._stats["shed"] += 1
+            future.set_result(
+                PlanError(
+                    request.request_id,
+                    "service_unavailable",
+                    "brownout L4: fleet is shedding load; retry later",
                     retry_after_s=retry_after,
                 )
             )
@@ -631,9 +697,10 @@ class ReplicaFleet:
         with self._lock:
             window = sorted(self._latencies)
         if not window:
-            return {"p50_ms": 0.0, "p99_ms": 0.0}
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
         return {
             "p50_ms": window[int(0.50 * (len(window) - 1))],
+            "p95_ms": window[int(0.95 * (len(window) - 1))],
             "p99_ms": window[int(0.99 * (len(window) - 1))],
         }
 
@@ -647,11 +714,14 @@ class ReplicaFleet:
                     "pid": replica.pid,
                     "state": replica.state,
                     "healthy": replica.routable,
+                    "desired": replica.desired,
+                    "retiring": replica.retiring,
                     "draining": replica.draining or replica.routing_paused,
                     "queue_depth": replica.queue_depth,
                     "assigned": len(replica.assigned),
                     "restarts": replica.restarts,
                     "handled": replica.handled,
+                    "brownout_level": replica.brownout_level,
                     "heartbeat_age_s": (
                         round(now - replica.last_heartbeat, 3)
                         if replica.last_heartbeat
@@ -663,7 +733,7 @@ class ReplicaFleet:
             inflight = len(self._inflight)
             waiting = len(self._waiting)
             stats = dict(self._stats)
-        return {
+        payload = {
             "serving": self.is_serving,
             "draining": self._draining,
             "replicas": replicas,
@@ -672,6 +742,11 @@ class ReplicaFleet:
             "latency": self.latency_percentiles(),
             "stats": stats,
         }
+        if self._autoscaler is not None:
+            payload["autoscale"] = self._autoscaler.state_dict()
+        if self._brownout is not None:
+            payload["brownout"] = self._brownout.state_dict()
+        return payload
 
     def supervisor_stats(self) -> Dict[str, object]:
         """Restart bookkeeping, mirroring ``AsyncVectorEnv.supervisor_stats``."""
@@ -681,6 +756,56 @@ class ReplicaFleet:
                 "restarts_per_replica": [r.restarts for r in self._replicas],
                 "max_replica_restarts": self.config.max_replica_restarts,
             }
+
+    def control_plane_stats(self) -> Dict[str, float]:
+        """Flat supervision-counter summary for simulation reports:
+        restarts/rolls/sheds/retries plus autoscale and brownout activity."""
+        with self._lock:
+            stats = dict(self._stats)
+            active = sum(1 for r in self._replicas if r.desired)
+        payload = {
+            "submitted": int(stats["submitted"]),
+            "completed": int(stats["completed"]),
+            "errors": int(stats["errors"]),
+            "retried": int(stats["retried"]),
+            "shed": int(stats["shed"]),
+            "restarts": int(stats["restarts"]),
+            "replica_failures": int(stats["replica_failures"]),
+            "rolls": int(stats["rolls"]),
+            "scale_ups": int(stats["scale_ups"]),
+            "scale_downs": int(stats["scale_downs"]),
+            "active_replicas": active,
+            "brownout_transitions": (
+                len(self._brownout.transitions) if self._brownout is not None else 0
+            ),
+            "brownout_level": (
+                self._brownout.level if self._brownout is not None else 0
+            ),
+        }
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Scaling
+    # ------------------------------------------------------------------ #
+    def set_target_replicas(self, count: int) -> int:
+        """Manually steer the replica count (clamped to the autoscale bounds).
+
+        Requires the fleet to be built with ``FleetConfig.autoscale`` (use
+        :meth:`AutoscaleConfig.manual` for bounds without automatic
+        decisions).  Scale-down remains drain-before-kill: retiring replicas
+        finish their in-flight work before they are stopped.  Returns the
+        clamped target.
+        """
+        if self._autoscaler is None:
+            raise RuntimeError(
+                "fleet was not built with FleetConfig.autoscale; "
+                "manual scaling has no slot bounds to work within"
+            )
+        bounds = self.config.autoscale
+        target = max(bounds.min_replicas, min(int(count), bounds.max_replicas))
+        self._autoscaler.target = target
+        self._apply_scale(target)
+        return target
 
     # ------------------------------------------------------------------ #
     # Internals — spawning and teardown
@@ -777,6 +902,7 @@ class ReplicaFleet:
                     replica.queue_depth = int(load.get("queue_depth", 0))
                     replica.handled = int(load.get("handled", 0))
                     replica.draining = bool(load.get("draining", False))
+                    replica.brownout_level = int(load.get("brownout_level", 0))
             elif kind == "ready":
                 info = message[1]
                 with self._lock:
@@ -871,8 +997,17 @@ class ReplicaFleet:
                 self._replicas[index].assigned.add(ticket)
                 to_send.append((self._replicas[index], ticket, entry))
         for replica, ticket, entry in to_send:
+            request_dict = entry.request_dict
+            if self._brownout is not None and self._brownout.reduce_deadline:
+                # Brownout L2: stamp the reduced deadline onto the dispatched
+                # copy (never the stored one — a retry after recovery should
+                # run at whatever level holds *then*).
+                request_dict = dict(request_dict)
+                request_dict["deadline_ms"] = self._brownout.effective_deadline_ms(
+                    request_dict.get("deadline_ms")
+                )
             try:
-                replica.send(("plan", ticket, entry.request_dict))
+                replica.send(("plan", ticket, request_dict))
             except (OSError, ValueError, BrokenPipeError):
                 self._fail_replica(replica, "pipe send failed")
 
@@ -880,10 +1015,15 @@ class ReplicaFleet:
         """Kill + schedule respawn of a failed replica; retry its requests."""
         to_fail: List[_InFlight] = []
         with self._lock:
-            if replica.state == "down":
-                return
+            if replica.state in ("down", "stopping"):
+                return  # already dead, or an intentional retirement underway
             replica.state = "down"
             replica.ready = False
+            if not replica.desired:
+                # A retiring replica died mid-drain: its slot goes back to
+                # the spare pool clean (no respawn — it was leaving anyway).
+                replica.retiring = False
+                replica.routing_paused = False
             self._stats["replica_failures"] += 1
             orphans = [
                 (ticket, self._inflight.pop(ticket))
@@ -905,6 +1045,7 @@ class ReplicaFleet:
                 self._waiting[ticket] = entry
             if (
                 not self._stopped
+                and replica.desired
                 and replica.restarts < self.config.max_replica_restarts
             ):
                 backoff = min(
@@ -955,6 +1096,8 @@ class ReplicaFleet:
     def _supervise_once(self) -> None:
         now = time.monotonic()
         for replica in self._replicas:
+            if replica.state == "stopping":
+                continue  # intentional retirement; its own thread finishes it
             if replica.state == "down":
                 if (
                     replica.respawn_at is not None
@@ -998,6 +1141,7 @@ class ReplicaFleet:
             if oldest is not None and now - oldest > self.config.request_timeout_s:
                 self._fail_replica(replica, "assigned request timed out (hang)")
                 continue
+        self._control_tick(now)
         # Bound the residency of unassigned work so a fully-down fleet still
         # terminates every future.
         expired: List[_InFlight] = []
@@ -1016,6 +1160,108 @@ class ReplicaFleet:
                 ),
             )
         self._dispatch_waiting()
+
+    # ------------------------------------------------------------------ #
+    # Internals — autoscaling, brownout, retirement
+    # ------------------------------------------------------------------ #
+    def _control_tick(self, now: float) -> None:
+        """One autoscale/brownout observation + retirement progression."""
+        # Finish retirements whose in-flight work has fully drained.  The
+        # actual stop runs off-thread: a replica drain must never stall the
+        # supervisor's failure detectors.
+        to_stop: List[_Replica] = []
+        with self._lock:
+            for replica in self._replicas:
+                if replica.retiring and replica.state == "up" and not replica.assigned:
+                    replica.state = "stopping"
+                    to_stop.append(replica)
+        for replica in to_stop:
+            threading.Thread(
+                target=self._finish_retirement,
+                args=(replica,),
+                name=f"fleet-retire-{replica.index}",
+                daemon=True,
+            ).start()
+        if self._autoscaler is None and self._brownout is None:
+            return
+        with self._lock:
+            active = sum(1 for r in self._replicas if r.desired)
+            outstanding = len(self._inflight) + len(self._waiting)
+            oldest = min(
+                (e.assigned_at for e in self._inflight.values()), default=None
+            )
+            window = sorted(self._latencies)
+        p95_ms = window[int(0.95 * (len(window) - 1))] if window else 0.0
+        oldest_age_s = (now - oldest) if oldest is not None else 0.0
+        if self._brownout is not None:
+            # Normalized load: outstanding work over one batch's worth of
+            # capacity per active replica.
+            capacity = max(active, 1) * max(self.service_config.max_batch_size, 1)
+            self._brownout.observe(outstanding / capacity, now=now)
+        if self._autoscaler is not None:
+            target = self._autoscaler.observe(
+                FleetLoad(
+                    active_replicas=active,
+                    outstanding=outstanding,
+                    oldest_inflight_age_s=oldest_age_s,
+                    p95_ms=p95_ms,
+                ),
+                now=now,
+            )
+            self._apply_scale(target)
+
+    def _apply_scale(self, target: int) -> None:
+        """Move the desired replica set toward ``target``.
+
+        Scale-up re-populates spare slots (least-restarted first) and spawns
+        immediately.  Scale-down is strictly drain-before-kill: the victim
+        (emptiest slot, highest index on ties — deterministic) leaves routing
+        at once but is only stopped by :meth:`_control_tick` after its last
+        in-flight request resolves.  Already-down slots are free victims.
+        """
+        if not self._started or self._stopped or self._draining:
+            return
+        with self._lock:
+            desired = [r for r in self._replicas if r.desired]
+            if len(desired) < target:
+                spares = sorted(
+                    (r for r in self._replicas if not r.desired and not r.retiring),
+                    key=lambda r: (r.restarts, r.index),
+                )
+                for replica in spares[: target - len(desired)]:
+                    replica.desired = True
+                    replica.retiring = False
+                    replica.routing_paused = False
+                    replica.respawn_at = None
+                    self._stats["scale_ups"] += 1
+                    self._spawn(replica)
+            elif len(desired) > target:
+                victims = sorted(
+                    desired,
+                    key=lambda r: (
+                        0 if r.state == "down" else 1,
+                        len(r.assigned),
+                        -r.index,
+                    ),
+                )
+                for replica in victims[: len(desired) - target]:
+                    replica.desired = False
+                    self._stats["scale_downs"] += 1
+                    if replica.state == "down":
+                        replica.respawn_at = None  # cancel any pending respawn
+                    else:
+                        replica.retiring = True
+                        replica.routing_paused = True
+
+    def _finish_retirement(self, replica: _Replica) -> None:
+        """Drain-then-stop one retiring replica, off the supervisor thread."""
+        try:
+            self._shutdown_replica(replica, "drain", timeout=5.0)
+        finally:
+            with self._lock:
+                replica.retiring = False
+                replica.routing_paused = False
+                replica.respawn_at = None
 
 
 class _RegistryDescription:

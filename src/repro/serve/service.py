@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..baselines.base import PlanEvaluation, ReschedulingResult, evaluate_plan
 from ..cluster import ClusterState
+from .autoscale import BrownoutConfig, BrownoutController
 from .registry import Planner, PlannerRegistry, build_default_registry
 from .schemas import PlanError, PlanRequest, PlanResponse, SchemaError
 
@@ -103,6 +104,12 @@ class ServiceConfig:
     #: on the error, ``Retry-After`` on the HTTP reply): how long a client
     #: should wait before retrying.  ``0`` omits the hint.
     shed_retry_after_s: float = 0.25
+    #: Enable the graceful-degradation ladder (L0 normal → L1 cheap
+    #: inference → L2 reduced-deadline partials → L3 fallback planner → L4
+    #: shed), entered/exited on EWMA-smoothed queue load.  L3 degrades to
+    #: ``fallback_planner``; unset, L3 behaves like L2.  ``None`` disables
+    #: the ladder entirely (the default — zero behavior change).
+    brownout: Optional[BrownoutConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -149,8 +156,14 @@ class ReschedulingService:
         self._draining = False
         self._eval_pool = None
         self._eval_pool_lock = threading.Lock()
+        self._brownout_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._latencies: "deque[float]" = deque(maxlen=512)
+        self._brownout = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
         self._stats: Dict[str, float] = {
             "requests": 0,
             "errors": 0,
@@ -176,6 +189,21 @@ class ReschedulingService:
         slot.
         """
         received = time.perf_counter()
+        # The sync path sees load only as burst width: one handle_many call
+        # IS the instantaneous queue, so the ladder observes its size.
+        level = self._observe_brownout(len(requests))
+        if level >= 4:
+            with self._stats_lock:
+                self._stats["shed"] += len(requests)
+            return [
+                self._error(
+                    request,
+                    "service_unavailable",
+                    "brownout L4: service is shedding load; retry later",
+                    retry_after_s=self.config.shed_retry_after_s or None,
+                )
+                for request in requests
+            ]
         replies: List[Optional[Reply]] = [None] * len(requests)
         prepared: List[Tuple] = []
         for index, request in enumerate(requests):
@@ -190,15 +218,16 @@ class ReschedulingService:
                     request, "internal_error", f"request preparation failed: {exc}"
                 )
             else:
+                deadline_ms = self._effective_deadline_ms(request.deadline_ms, level)
                 deadline_at = (
-                    received + float(request.deadline_ms) / 1e3
-                    if request.deadline_ms is not None
+                    received + float(deadline_ms) / 1e3
+                    if deadline_ms is not None
                     else None
                 )
                 prepared.append((index, request, planner, state, objective, deadline_at))
 
         for group in self._group(prepared):
-            self._dispatch(group, replies, received, queue_ms=0.0)
+            self._dispatch(group, replies, received, queue_ms=0.0, level=level)
         return [
             reply
             if reply is not None
@@ -314,6 +343,20 @@ class ReschedulingService:
                 )
             )
             return future
+        # Queued-path ladder input: depth of the queue the request joins.
+        level = self._observe_brownout(self._queue.qsize())
+        if level >= 4:
+            with self._stats_lock:
+                self._stats["shed"] += 1
+            future.set_result(
+                self._error(
+                    request,
+                    "service_unavailable",
+                    "brownout L4: service is shedding load; retry later",
+                    retry_after_s=retry_after,
+                )
+            )
+            return future
         depth = self.config.max_queue_depth
         if depth > 0 and self._queue.qsize() >= depth:
             with self._stats_lock:
@@ -336,7 +379,15 @@ class ReschedulingService:
 
     def stats(self) -> Dict[str, float]:
         with self._stats_lock:
-            return dict(self._stats)
+            payload = dict(self._stats)
+        if self._brownout is not None:
+            payload["brownout_transitions"] = len(self._brownout.transitions)
+        return payload
+
+    @property
+    def brownout_level(self) -> int:
+        """Current ladder level (0 when the ladder is disabled)."""
+        return 0 if self._brownout is None else self._brownout.level
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p99 over the most recent successful responses (sliding window)."""
@@ -351,17 +402,38 @@ class ReschedulingService:
 
     def state(self) -> Dict:
         """One self-describing health/load snapshot (the ``/v1/state`` body)."""
-        return {
+        payload = {
             "serving": self.is_serving,
             "draining": self._draining,
             "queue_depth": self.pending_count(),
             "latency": self.latency_percentiles(),
             "stats": self.stats(),
         }
+        if self._brownout is not None:
+            payload["brownout"] = self._brownout.state_dict()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _observe_brownout(self, depth: int) -> int:
+        """Fold one load sample (queue depth or burst width, in requests)
+        into the ladder; returns the level decisions should use."""
+        if self._brownout is None:
+            return 0
+        load = depth / max(self.config.max_batch_size, 1)
+        with self._brownout_lock:
+            return self._brownout.observe(load)
+
+    def _effective_deadline_ms(
+        self, deadline_ms: Optional[float], level: int
+    ) -> Optional[float]:
+        """L2+: the tighter of the caller's deadline and the brownout one."""
+        if self._brownout is None or level < 2:
+            return deadline_ms
+        reduced = self.config.brownout.reduced_deadline_ms
+        return reduced if deadline_ms is None else min(float(deadline_ms), reduced)
+
     def _prepare(self, request: PlanRequest):
         """Validate a request and resolve its planner/state/objective."""
         request.validate()
@@ -415,6 +487,7 @@ class ReschedulingService:
         replies: List[Optional[Reply]],
         received: float,
         queue_ms: float,
+        level: int = 0,
     ) -> None:
         """Run one planner call for a group and fill the reply slots."""
         planner: Planner = group[0][2]
@@ -423,6 +496,18 @@ class ReschedulingService:
         objective = group[0][4]
         greedy = group[0][1].greedy
         seed = group[0][1].seed
+        # Brownout L3: greedy requests degrade to the fast fallback baseline
+        # wholesale (the base Planner.plan_batch loops plan(), so the swap is
+        # safe for multi-request groups too).
+        degraded_from: Optional[str] = None
+        if level >= 3 and self.config.fallback_planner and greedy:
+            try:
+                fallback = self.registry.get(self.config.fallback_planner)
+            except KeyError:
+                fallback = None
+            if fallback is not None and fallback is not planner:
+                degraded_from = planner.name
+                planner = fallback
         # The group is deadline-homogeneous (see _group); members may differ
         # by queue wait, so the earliest absolute deadline binds the call.
         deadlines = [deadline_at for *_, deadline_at in group if deadline_at is not None]
@@ -443,11 +528,15 @@ class ReschedulingService:
         supports_deadline = (
             deadline_s is not None and greedy and "deadline" in planner.capabilities
         )
+        # Brownout L1: force the cheap inference path — StepCache on and the
+        # batched rollout kernel (which skips entropy/value stats) even for
+        # singleton requests.
+        force_cheap = level >= 1 and greedy and "batch" in planner.capabilities
         start = time.perf_counter()
         try:
-            if len(group) > 1 or supports_deadline:
+            if len(group) > 1 or supports_deadline or force_cheap:
                 extra = (
-                    {"step_cache": self.config.rl_step_cache}
+                    {"step_cache": True if force_cheap else self.config.rl_step_cache}
                     if "step_cache" in planner.capabilities
                     else {}
                 )
@@ -478,6 +567,12 @@ class ReschedulingService:
             if len(group) > 1:
                 self._stats["batches"] += 1
                 self._stats["batched_requests"] += len(group)
+            if degraded_from is not None:
+                self._stats["degraded"] += len(group)
+        if degraded_from is not None:
+            for result in results:
+                result.info["degraded_from"] = degraded_from
+                result.info["degraded_to"] = planner.name
         # batch_size reports the effective concurrency (stacked-forward
         # width); a group larger than max_batch_size streams through that
         # many slots via continuous admission.
@@ -536,6 +631,7 @@ class ReschedulingService:
                 inference_ms=inference_ms,
                 batch_size=width,
                 partial=partial,
+                brownout_level=level,
             )
 
     def _evaluate_group(self, payloads: List[Tuple]) -> List[PlanEvaluation]:
@@ -589,6 +685,7 @@ class ReschedulingService:
         inference_ms: float,
         batch_size: int,
         partial: bool = False,
+        brownout_level: int = 0,
     ) -> PlanResponse:
         metrics = {
             "latency_ms": latency_ms,
@@ -603,6 +700,9 @@ class ReschedulingService:
         with self._stats_lock:
             self._stats["requests"] += 1
             self._latencies.append(latency_ms)
+        info = dict(result.info)
+        if brownout_level > 0:
+            info["brownout_level"] = brownout_level
         return PlanResponse(
             request_id=request.request_id,
             planner=result.algorithm,
@@ -613,7 +713,7 @@ class ReschedulingService:
             num_skipped=evaluation.num_skipped,
             partial=partial,
             metrics=metrics,
-            info=dict(result.info),
+            info=info,
         )
 
     def _error(
@@ -671,6 +771,9 @@ class ReschedulingService:
 
     def _process_pending(self, pending: List[_Pending]) -> None:
         received = time.perf_counter()
+        # Submissions already fed the ladder; the batch runs at whatever
+        # level the queue has earned by now.
+        level = self.brownout_level
         replies: List[Optional[Reply]] = [None] * len(pending)
         prepared = []
         for index, item in enumerate(pending):
@@ -690,6 +793,17 @@ class ReschedulingService:
                         )
                     # The budget is measured from service receive (enqueue).
                     deadline_at = item.enqueued_at + float(request.deadline_ms) / 1e3
+                if level >= 2 and self._brownout is not None:
+                    # Brownout L2: a reduced budget measured from dispatch —
+                    # deadline-capable planners stop mid-plan and return a
+                    # valid partial prefix instead of queueing full work.
+                    reduced_at = (
+                        received + self.config.brownout.reduced_deadline_ms / 1e3
+                    )
+                    deadline_at = (
+                        reduced_at if deadline_at is None
+                        else min(deadline_at, reduced_at)
+                    )
             except SchemaError as exc:
                 replies[index] = self._error(request, exc.code, str(exc))
             except KeyError as exc:
@@ -704,7 +818,9 @@ class ReschedulingService:
         for group in self._group(prepared):
             slot = group[0][0]
             queue_ms = (received - pending[slot].enqueued_at) * 1e3
-            self._dispatch(group, replies, received, queue_ms=max(queue_ms, 0.0))
+            self._dispatch(
+                group, replies, received, queue_ms=max(queue_ms, 0.0), level=level
+            )
 
         for item, reply in zip(pending, replies):
             if reply is None:  # defensive: every slot should be filled

@@ -8,11 +8,13 @@ from .faults import (
     FaultyEnv,
     FaultyPlanner,
     FaultyRegistryFactory,
+    LoadSpike,
     faulty_factories,
     kill_eval_pool_workers,
     kill_replica,
     malformed_http_payloads,
     oversized_body,
+    slow_replica_factory,
 )
 
 __all__ = [
@@ -23,9 +25,11 @@ __all__ = [
     "FaultyEnv",
     "FaultyPlanner",
     "FaultyRegistryFactory",
+    "LoadSpike",
     "faulty_factories",
     "kill_eval_pool_workers",
     "kill_replica",
     "malformed_http_payloads",
     "oversized_body",
+    "slow_replica_factory",
 ]

@@ -23,6 +23,11 @@ inject them at every layer the chaos suites exercise:
   isolation and deadline behavior in :class:`ReschedulingService`.
 * **Eval-pool faults** — :func:`kill_eval_pool_workers` SIGKILLs the
   service's plan-evaluation pool mid-flight.
+* **Autoscale/brownout faults** — :func:`slow_replica_factory` plants a
+  *persistently* slow planner in one replica (``fail_calls=None`` fires on
+  every call), and :class:`LoadSpike` describes a deterministic flash-crowd
+  offered-load profile; together they force every autoscaler direction and
+  brownout-ladder rung without randomness.
 * **HTTP faults** — :func:`malformed_http_payloads` / :func:`oversized_body`
   generate the adversarial request bodies the server-hardening suite replays.
 
@@ -242,12 +247,18 @@ class FaultyPlanner:
     crash/hang faults in fleet tests should carry a ``latch`` path — the
     fault then fires exactly once across any number of respawns (same
     mechanism as env-level faults).
+
+    ``fail_calls=None`` makes the fault *persistent* — it fires on every
+    call.  With ``kind="slow"`` that models a degraded replica (bad NIC,
+    noisy neighbor) whose every plan call is slower than its peers: the
+    canonical trigger for autoscaler scale-up on in-flight age and for
+    climbing the brownout ladder without any crash involved.
     """
 
     def __init__(
         self,
         inner,
-        fail_calls: Iterable[int] = (0,),
+        fail_calls: Optional[Iterable[int]] = (0,),
         kind: str = "raise",
         latency_s: float = 0.0,
         message: str = "injected planner fault",
@@ -256,7 +267,9 @@ class FaultyPlanner:
         if kind not in ("raise", "hang", "slow", "crash"):
             raise ValueError(f"unsupported planner fault kind {kind!r}")
         self._inner = inner
-        self._fail_calls = frozenset(int(i) for i in fail_calls)
+        self._fail_calls = (
+            None if fail_calls is None else frozenset(int(i) for i in fail_calls)
+        )
         self._kind = kind
         self._latency_s = latency_s
         self._message = message
@@ -284,7 +297,9 @@ class FaultyPlanner:
         with self._lock:
             ordinal = self._calls
             self._calls += 1
-        if ordinal not in self._fail_calls or not self._acquire():
+        if self._fail_calls is not None and ordinal not in self._fail_calls:
+            return
+        if not self._acquire():
             return
         if self._kind == "crash":
             os._exit(CRASH_EXIT_CODE)
@@ -352,7 +367,7 @@ class FaultyRegistryFactory:
         self,
         inner: Callable[[], object],
         planner_key: str,
-        fail_calls: Iterable[int] = (0,),
+        fail_calls: Optional[Iterable[int]] = (0,),
         kind: str = "raise",
         latency_s: float = 0.0,
         message: str = "injected planner fault",
@@ -360,7 +375,9 @@ class FaultyRegistryFactory:
     ) -> None:
         self.inner = inner
         self.planner_key = planner_key
-        self.fail_calls = tuple(int(i) for i in fail_calls)
+        self.fail_calls = (
+            None if fail_calls is None else tuple(int(i) for i in fail_calls)
+        )
         self.kind = kind
         self.latency_s = latency_s
         self.message = message
@@ -380,6 +397,62 @@ class FaultyRegistryFactory:
             ),
         )
         return registry
+
+
+def slow_replica_factory(
+    inner: Callable[[], object],
+    planner_key: str,
+    latency_s: float,
+) -> FaultyRegistryFactory:
+    """A registry factory whose replica is *persistently* slow on one planner.
+
+    Every ``planner_key`` call sleeps ``latency_s`` before answering — a
+    degraded-but-correct replica.  Used by autoscale chaos tests to push
+    in-flight request age and p95 latency over the scale-up thresholds and to
+    force the service up the brownout ladder without any crashes.
+    """
+    return FaultyRegistryFactory(
+        inner,
+        planner_key,
+        fail_calls=None,
+        kind="slow",
+        latency_s=latency_s,
+    )
+
+
+@dataclass(frozen=True)
+class LoadSpike:
+    """A deterministic flash-crowd profile: requests offered per round.
+
+    ``offered(i)`` is ``peak`` for rounds in ``[start_round, start_round +
+    duration_rounds)`` and ``base`` elsewhere — a square burst, the simplest
+    shape that forces both autoscaler directions (scale-up inside the burst,
+    scale-down after the cooldown once it passes).  Purely arithmetic and
+    frozen, so two runs over the same profile offer identical load.
+    """
+
+    base: int = 1
+    peak: int = 8
+    start_round: int = 2
+    duration_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base < 1:
+            raise ValueError("base offered load must be at least 1")
+        if self.peak < self.base:
+            raise ValueError("peak must be >= base")
+        if self.start_round < 0 or self.duration_rounds < 1:
+            raise ValueError("spike window must be non-empty and start at round >= 0")
+
+    def offered(self, round_index: int) -> int:
+        in_burst = (
+            self.start_round <= round_index < self.start_round + self.duration_rounds
+        )
+        return self.peak if in_burst else self.base
+
+    def schedule(self, num_rounds: int) -> Tuple[int, ...]:
+        """The full per-round offered-load vector for ``num_rounds`` rounds."""
+        return tuple(self.offered(i) for i in range(num_rounds))
 
 
 def kill_replica(fleet, index: int) -> Optional[int]:

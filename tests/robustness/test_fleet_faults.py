@@ -299,7 +299,7 @@ class TestStopAndState:
                 assert isinstance(replica["pid"], int)
                 assert replica["restarts"] == 0
             assert state["inflight"] == 0 and state["waiting"] == 0
-            assert set(state["latency"]) == {"p50_ms", "p99_ms"}
+            assert set(state["latency"]) == {"p50_ms", "p95_ms", "p99_ms"}
             assert state["stats"]["completed"] == 1
         finally:
             fleet.stop()

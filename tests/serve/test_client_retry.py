@@ -200,6 +200,103 @@ class TestConnectionFailures:
         assert len(sleeps) == 2
 
 
+class FakeTime:
+    """A clock+sleep pair: sleeping advances the clock, nothing waits."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, delay):
+        self.sleeps.append(delay)
+        self.now += delay
+
+
+def make_budgeted_client(url, fake, max_retries=8, max_elapsed_s=None):
+    return PlanningClient(
+        url,
+        retry=RetryPolicy(max_retries=max_retries, backoff_s=0.01),
+        timeout_s=30.0,
+        sleep=fake.sleep,
+        clock=fake.clock,
+        max_elapsed_s=max_elapsed_s,
+    )
+
+
+class TestElapsedBudget:
+    def test_max_elapsed_s_stops_retrying_before_count_budget(self, stub_server):
+        # The server sheds forever with a 1s Retry-After floor; an elapsed
+        # budget of 2.5s admits exactly two backoffs (at t=1 and t=2) — the
+        # third would land at t=3, past the budget, so the client gives up
+        # with retries left on the count budget.
+        httpd, url = stub_server(
+            [(503, {"Retry-After": "1"}, error_body("service_unavailable", "shed"))]
+        )
+        fake = FakeTime()
+        reply = make_budgeted_client(url, fake, max_elapsed_s=2.5).plan(
+            make_request()
+        )
+        assert isinstance(reply, PlanError)
+        assert reply.code == "service_unavailable"
+        assert httpd.hits == 3
+        assert len(fake.sleeps) == 2
+
+    def test_deadline_ms_is_the_default_budget(self, stub_server):
+        # Without an explicit max_elapsed_s, a request's own deadline_ms caps
+        # the retry loop: waiting past the caller's deadline to deliver an
+        # answer it can no longer use is worse than giving up.
+        httpd, url = stub_server(
+            [(503, {"Retry-After": "1"}, error_body("service_unavailable", "shed"))]
+        )
+        request = PlanRequest(
+            snapshot={},
+            planner="ha",
+            migration_limit=1,
+            request_id="req-1",
+            deadline_ms=1500.0,
+        )
+        fake = FakeTime()
+        reply = make_budgeted_client(url, fake).plan(request)
+        assert isinstance(reply, PlanError)
+        assert httpd.hits == 2  # initial + the one retry that fits in 1.5s
+        assert len(fake.sleeps) == 1
+
+    def test_explicit_budget_overrides_deadline(self, stub_server):
+        httpd, url = stub_server(
+            [
+                (503, {"Retry-After": "1"}, error_body("service_unavailable", "shed")),
+                (503, {"Retry-After": "1"}, error_body("service_unavailable", "shed")),
+                (200, {}, ok_body()),
+            ]
+        )
+        request = PlanRequest(
+            snapshot={},
+            planner="ha",
+            migration_limit=1,
+            request_id="req-1",
+            deadline_ms=100.0,  # would forbid any retry on its own
+        )
+        fake = FakeTime()
+        reply = make_budgeted_client(url, fake, max_elapsed_s=10.0).plan(request)
+        assert isinstance(reply, PlanResponse)
+        assert httpd.hits == 3
+
+    def test_no_budget_keeps_count_only_semantics(self, stub_server):
+        # No deadline, no max_elapsed_s: behavior is exactly the old
+        # count-bounded loop — however long Retry-After floors stretch it.
+        httpd, url = stub_server(
+            [(503, {"Retry-After": "60"}, error_body("service_unavailable", "shed"))]
+        )
+        fake = FakeTime()
+        reply = make_budgeted_client(url, fake, max_retries=2).plan(make_request())
+        assert isinstance(reply, PlanError)
+        assert httpd.hits == 3
+        assert fake.sleeps == [60.0, 60.0]
+
+
 class TestProbes:
     def test_healthz_and_state_helpers(self):
         import urllib.error
